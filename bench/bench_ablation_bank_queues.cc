@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation: the paper's per-bank-queue conjecture, made concrete.
+ *
+ * Sec. IV-E4 applies Little's law at the latency saturation knee and
+ * finds the occupancy for two-bank patterns to be about half that of
+ * four-bank patterns, concluding "a vault controller has one queue
+ * for each bank or for each DRAM layer". Our calibrated system bounds
+ * outstanding traffic with the host-side tag pools instead (see
+ * EXPERIMENTS.md), so that ratio does not appear end to end -- but
+ * the event-driven queued vault can test the conjecture directly:
+ * give each bank a finite queue, saturate k banks, and measure the
+ * in-vault occupancy by Little's law. If queues are per bank, the
+ * occupancy scales with k; a shared queue would not.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/regression.hh"
+#include "analysis/table.hh"
+#include "hmc/queued_vault.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+struct Row
+{
+    unsigned banks;
+    double throughputMrps;
+    double residenceUs; ///< mean time inside the vault
+    double occupancy;   ///< Little's law: X * W
+};
+
+/** Saturate @p banks banks of a queued vault and measure. */
+Row
+saturate(unsigned banks, unsigned queue_depth)
+{
+    EventQueue queue;
+    QueuedVaultConfig cfg;
+    cfg.perBankQueueDepth = queue_depth;
+    cfg.busQueueLimit = 4; // finite bank-to-bus stage: backpressure
+
+    Xoshiro256StarStar rng(banks * 101);
+    std::uint64_t completed = 0;
+    double residence_sum = 0.0;
+    Tick measure_start = 200 * tickUs;
+
+    QueuedVaultController *vault_ptr = nullptr;
+    std::function<void()> top_up;
+
+    QueuedVaultController vault(
+        cfg, queue,
+        [&](const Packet &pkt, Tick at) {
+            if (at >= measure_start) {
+                ++completed;
+                residence_sum += ticksToUs(at - pkt.tVaultArrive);
+            }
+            top_up();
+        });
+    vault_ptr = &vault;
+
+    // Greedy source: after every completion, refill every bank's
+    // queue to the brim (the saturated-arrival regime of Fig. 17).
+    top_up = [&]() {
+        for (unsigned b = 0; b < banks; ++b) {
+            while (true) {
+                Packet pkt;
+                pkt.cmd = Command::Read;
+                pkt.payload = 128;
+                pkt.bank = static_cast<std::uint8_t>(b);
+                pkt.row = static_cast<std::uint32_t>(rng.next());
+                if (!vault_ptr->offer(pkt))
+                    break;
+            }
+        }
+    };
+
+    queue.schedule(0, top_up);
+    queue.runUntil(1200 * tickUs);
+
+    Row row;
+    row.banks = banks;
+    const double seconds = ticksToSeconds(1200 * tickUs - measure_start);
+    row.throughputMrps =
+        static_cast<double>(completed) / seconds / 1e6;
+    row.residenceUs =
+        completed ? residence_sum / static_cast<double>(completed) : 0.0;
+    row.occupancy =
+        littlesLawOccupancy(row.residenceUs, row.throughputMrps);
+    return row;
+}
+
+const std::vector<Row> &
+results()
+{
+    static const std::vector<Row> rows = [] {
+        std::vector<Row> out;
+        for (unsigned banks : {1u, 2u, 4u, 8u})
+            out.push_back(saturate(banks, 16));
+        return out;
+    }();
+    return rows;
+}
+
+void
+printFigure()
+{
+    std::printf("\nPer-bank queues under saturation (queued vault "
+                "model, depth 16, 128 B reads)\n\n");
+    TextTable table({"Banks", "Throughput MRPS", "Residence us",
+                     "Occupancy (Little)"});
+    for (const Row &r : results()) {
+        table.addRow({strfmt("%u", r.banks),
+                      strfmt("%.1f", r.throughputMrps),
+                      strfmt("%.2f", r.residenceUs),
+                      strfmt("%.0f", r.occupancy)});
+    }
+    table.print();
+
+    const auto &rows = results();
+    std::printf("\nOccupancy scales with the bank count (2 banks / 4 "
+                "banks = %.2f; the paper's measured ratio was ~0.5) "
+                "because each bank contributes its own queue -- the "
+                "mechanism the paper inferred from its Fig. 17 "
+                "analysis. In the calibrated end-to-end system the "
+                "host tag pools bound occupancy first, which is why "
+                "the ratio is invisible there.\n\n",
+                rows[1].occupancy / rows[2].occupancy);
+}
+
+void
+BM_AblationBankQueues(benchmark::State &state)
+{
+    const auto &rows = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&rows);
+    state.counters["occ_2banks"] = rows[1].occupancy;
+    state.counters["occ_4banks"] = rows[2].occupancy;
+    state.counters["ratio"] = rows[1].occupancy / rows[2].occupancy;
+}
+BENCHMARK(BM_AblationBankQueues);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation: lane bit-error rate vs bandwidth and latency.
+ *
+ * The HMC packet protocol spends a flit of CRC/sequence overhead per
+ * packet precisely to enable link-level retry (Sec. II-B). This bench
+ * sweeps the lane BER and shows the retry machinery converting lane
+ * errors into bandwidth/latency degradation instead of data loss --
+ * the "package-level fault tolerance" the paper credits the packet-
+ * switched interface with (Sec. IV-E2).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+struct Row
+{
+    double ber;
+    double gbps;
+    double latencyUs;
+    double retriesPerMreq;
+};
+
+const std::vector<Row> &
+results()
+{
+    static const std::vector<Row> rows = [] {
+        std::vector<Row> out;
+        for (double ber : {0.0, 1e-9, 1e-7, 1e-6, 5e-6}) {
+            Ac510Config sys;
+            sys.controller.bitErrorRate = ber;
+            Ac510Module module(sys);
+            module.start();
+            module.runUntil(100 * tickUs);
+            module.resetPortStats();
+            const std::uint64_t retries0 =
+                module.controller().linkRetries();
+            module.runUntil(1100 * tickUs);
+            const GupsPortStats agg = module.aggregateStats();
+            const double seconds = 1e-3;
+            const double gbps =
+                toGBps(static_cast<double>(agg.rawBytes) / seconds);
+            const double mreq =
+                static_cast<double>(agg.readsCompleted) / 1e6;
+            out.push_back(
+                {ber, gbps, agg.readLatencyNs.mean() / 1000.0,
+                 static_cast<double>(module.controller().linkRetries() -
+                                     retries0) /
+                     mreq});
+        }
+        return out;
+    }();
+    return rows;
+}
+
+void
+printFigure()
+{
+    std::printf("\nAblation: lane bit-error rate (128 B random reads, "
+                "16 vaults)\n\n");
+    TextTable table({"BER", "Raw GB/s", "Avg latency us",
+                     "Retries per Mreq"});
+    for (const Row &r : results()) {
+        table.addRow({r.ber == 0.0 ? std::string("0")
+                                   : strfmt("%.0e", r.ber),
+                      strfmt("%.2f", r.gbps),
+                      strfmt("%.2f", r.latencyUs),
+                      strfmt("%.0f", r.retriesPerMreq)});
+    }
+    table.print();
+    std::printf("\nRetries remain invisible below ~1e-7 BER, then "
+                "start costing bandwidth; data integrity is never "
+                "compromised (every corrupted packet is caught by CRC "
+                "and resent).\n\n");
+}
+
+void
+BM_AblationLinkErrors(benchmark::State &state)
+{
+    const auto &rows = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&rows);
+    state.counters["clean_GBps"] = rows[0].gbps;
+    state.counters["ber5e6_GBps"] = rows.back().gbps;
+    state.counters["ber5e6_retries_per_Mreq"] =
+        rows.back().retriesPerMreq;
+}
+BENCHMARK(BM_AblationLinkErrors);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Ablation: HMC's closed-page policy vs an open-page alternative.
+ *
+ * Sec. II-C/IV-D: HMC closes rows after every access because its
+ * small 256 B rows and enormous bank count make row-buffer locality
+ * a poor bet, and open rows cost standby power. This bench flips the
+ * vaults to open-page and measures who would have benefited: linear
+ * streams confined to few banks (the only shape with real row
+ * locality) vs the distributed traffic HMC is designed for.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+struct Row
+{
+    const char *workload;
+    double closedGBps;
+    double openGBps;
+    double openRowHitPct;
+};
+
+/** Row-buffer hit rate across all vaults after a run. */
+double
+rowHitPct(const ExperimentConfig &cfg)
+{
+    Ac510Config sys = makeSystemConfig(cfg);
+    Ac510Module module(sys);
+    module.start();
+    module.runUntil(400 * tickUs);
+    std::uint64_t hits = 0, total = 0;
+    for (unsigned v = 0; v < module.device().numVaults(); ++v) {
+        const VaultStats &s = module.device().vault(v).stats();
+        hits += s.rowHits;
+        total += s.reads + s.writes + s.atomics;
+    }
+    return total ? 100.0 * static_cast<double>(hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+const std::vector<Row> &
+results()
+{
+    static const std::vector<Row> rows = [] {
+        std::vector<Row> out;
+
+        struct Shape
+        {
+            const char *name;
+            AccessPattern pattern;
+            AddressingMode mode;
+            Bytes size;
+            unsigned ports;
+        };
+        const Shape shapes[] = {
+            {"linear, 1 bank, 1 port", bankPattern(defaultMapper(), 1),
+             AddressingMode::Linear, 128, 1},
+            {"linear, 1 vault", vaultPattern(defaultMapper(), 1),
+             AddressingMode::Linear, 128, 9},
+            {"linear, 16 vaults", vaultPattern(defaultMapper(), 16),
+             AddressingMode::Linear, 128, 9},
+            {"random, 16 vaults", vaultPattern(defaultMapper(), 16),
+             AddressingMode::Random, 128, 9},
+        };
+        for (const Shape &shape : shapes) {
+            ExperimentConfig cfg;
+            cfg.pattern = shape.pattern;
+            cfg.mode = shape.mode;
+            cfg.requestSize = shape.size;
+            cfg.numPorts = shape.ports;
+            cfg.measure = 400 * tickUs;
+            const double closed = runExperiment(cfg).rawGBps;
+            cfg.device.vault.policy = PagePolicy::Open;
+            const double open = runExperiment(cfg).rawGBps;
+            out.push_back(
+                {shape.name, closed, open, rowHitPct(cfg)});
+        }
+        return out;
+    }();
+    return rows;
+}
+
+void
+printFigure()
+{
+    std::printf("\nAblation: closed-page (HMC default) vs open-page "
+                "vaults\n\n");
+    TextTable table({"Workload", "Closed GB/s", "Open GB/s",
+                     "Open-page row hits", "Open/closed"});
+    for (const Row &r : results()) {
+        table.addRow({r.workload, strfmt("%.1f", r.closedGBps),
+                      strfmt("%.1f", r.openGBps),
+                      strfmt("%.0f%%", r.openRowHitPct),
+                      strfmt("%.2fx", r.openGBps / r.closedGBps)});
+    }
+    table.print();
+
+    const auto &rows = results();
+    std::printf("\nOpen page only pays where traffic camps on a row "
+                "(%.1fx on the single-bank stream, %.0f%% hits); the "
+                "distributed patterns HMC targets see no benefit "
+                "(%.2fx at 16 vaults: a 256 B row holds just two "
+                "blocks, and the link bound hides the rest) -- the "
+                "quantitative case for the paper's insight (iii): "
+                "don't chase spatial locality.\n\n",
+                rows[0].openGBps / rows[0].closedGBps,
+                rows[0].openRowHitPct,
+                rows[3].openGBps / rows[3].closedGBps);
+}
+
+void
+BM_AblationPagePolicy(benchmark::State &state)
+{
+    const auto &rows = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&rows);
+    state.counters["open_gain_1bank"] =
+        rows[0].openGBps / rows[0].closedGBps;
+    state.counters["open_gain_16vaults"] =
+        rows[3].openGBps / rows[3].closedGBps;
+}
+BENCHMARK(BM_AblationPagePolicy);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Extension bench: capacity scaling and fault tolerance with chained
+ * cubes.
+ *
+ * Quantifies the two claims the paper attributes to the packet-
+ * switched interface (Sec. IV-E2): scalability via the interconnect
+ * (latency per additional cube hop) and package-level fault tolerance
+ * via rerouting around failed packages (latency/availability before
+ * and after a cube failure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+
+#include "analysis/table.hh"
+#include "hmc/chain.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+/**
+ * Average low-load read latency to one cube of a chain. Takes a fresh
+ * chain so link-regulator history from earlier probes cannot leak in.
+ */
+double
+probeLatencyNs(CubeChain &&chain, unsigned target, int samples = 200)
+{
+    Xoshiro256StarStar rng(17 + target);
+    double total = 0.0;
+    Tick t = 0;
+    for (int i = 0; i < samples; ++i) {
+        Packet pkt;
+        pkt.cmd = Command::Read;
+        pkt.payload = 128;
+        pkt.addr = static_cast<Addr>(target) * 4 * gib +
+                   rng.nextBounded(4ull * gib / 128) * 128;
+        // Space probes out so they do not queue on each other.
+        t += 5 * tickUs;
+        const Tick done = chain.handleRequest(pkt, t);
+        total += ticksToNs(done - t);
+    }
+    return total / samples;
+}
+
+struct ChainResults
+{
+    std::vector<double> hopLatencyNs;       // 8-cube ring, cube 0..7
+    double healthyLatencyNs = 0.0;          // 4-cube ring, cube 1
+    double reroutedLatencyNs = 0.0;         // same, cube 0 failed
+    double unreachableFraction = 0.0;       // double failure
+};
+
+const ChainResults &
+results()
+{
+    static const ChainResults r = [] {
+        ChainResults out;
+        CubeChainConfig cfg;
+        cfg.numCubes = 8;
+        for (unsigned target = 0; target < 8; ++target)
+            out.hopLatencyNs.push_back(
+                probeLatencyNs(CubeChain(cfg), target));
+
+        CubeChainConfig cfg4;
+        cfg4.numCubes = 4;
+        out.healthyLatencyNs = probeLatencyNs(CubeChain(cfg4), 1);
+        CubeChain degraded(cfg4);
+        degraded.setCubeFailed(0, true);
+        out.reroutedLatencyNs = probeLatencyNs(std::move(degraded), 1);
+
+        CubeChain walled(cfg4);
+        walled.setCubeFailed(0, true);
+        walled.setCubeFailed(2, true);
+        unsigned reachable = 0;
+        for (unsigned c = 0; c < 4; ++c)
+            reachable += walled.reachable(c);
+        out.unreachableFraction = 1.0 - reachable / 4.0;
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const ChainResults &r = results();
+    std::printf("\nChained cubes: hop latency around an 8-cube ring "
+                "(host attached at cubes 0 and 7)\n\n");
+    TextTable table({"Target cube", "Hops", "Avg read latency ns"});
+    const unsigned hops[8] = {0, 1, 2, 3, 3, 2, 1, 0};
+    for (unsigned c = 0; c < 8; ++c)
+        table.addRow({strfmt("cube %u", c), strfmt("%u", hops[c]),
+                      strfmt("%.0f", r.hopLatencyNs[c])});
+    table.print();
+
+    const double per_hop =
+        (r.hopLatencyNs[3] - r.hopLatencyNs[0]) / 3.0;
+    std::printf("\n~%.0f ns per cube hop (pass-through + two link "
+                "crossings per direction).\n",
+                per_hop);
+    std::printf("\nFault tolerance (4-cube ring, target cube 1):\n"
+                "  healthy path (1 hop) : %.0f ns\n"
+                "  cube 0 failed, rerouted the long way (2 hops): "
+                "%.0f ns -- capacity retained, latency +%.0f%%\n"
+                "  double failure walls off 1 of 4 cubes "
+                "(%.0f%% of capacity lost, the rest keeps serving)\n\n",
+                r.healthyLatencyNs, r.reroutedLatencyNs,
+                (r.reroutedLatencyNs / r.healthyLatencyNs - 1.0) * 100.0,
+                r.unreachableFraction * 100.0);
+}
+
+void
+BM_ChainScaling(benchmark::State &state)
+{
+    const ChainResults &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["hop0_ns"] = r.hopLatencyNs[0];
+    state.counters["hop3_ns"] = r.hopLatencyNs[3];
+    state.counters["rerouted_ns"] = r.reroutedLatencyNs;
+}
+BENCHMARK(BM_ChainScaling);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

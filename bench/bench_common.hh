@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench follows the same pattern: run the paper's sweep once
+ * (cached), print the same rows/series the paper reports, and expose
+ * headline values as google-benchmark counters.
+ */
+
+#ifndef HMCSIM_BENCH_COMMON_HH
+#define HMCSIM_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "host/experiment.hh"
+
+namespace hmcsim::benchutil
+{
+
+/** The mapper used to build the paper's access patterns. */
+inline const AddressMapper &
+defaultMapper()
+{
+    static const AddressMapper mapper(HmcConfig::gen2_4GB(),
+                                      MaxBlockSize::B128);
+    return mapper;
+}
+
+/** The paper's canonical pattern axis (16 vaults .. 1 bank). */
+inline const std::vector<AccessPattern> &
+patternAxis()
+{
+    static const std::vector<AccessPattern> axis =
+        paperPatternAxis(defaultMapper());
+    return axis;
+}
+
+/** Run one full-scale GUPS measurement with default hardware. */
+inline MeasurementResult
+measure(const AccessPattern &pattern, RequestMix mix, Bytes size,
+        AddressingMode mode = AddressingMode::Random,
+        unsigned ports = maxGupsPorts)
+{
+    ExperimentConfig cfg;
+    cfg.pattern = pattern;
+    cfg.mix = mix;
+    cfg.requestSize = size;
+    cfg.mode = mode;
+    cfg.numPorts = ports;
+    return runExperiment(cfg);
+}
+
+} // namespace hmcsim::benchutil
+
+#endif // HMCSIM_BENCH_COMMON_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 7 reproduction: raw bandwidth of ro / rw / wo 128 B random
+ * accesses across the pattern axis (16 vaults down to 1 bank).
+ *
+ * Paper shapes to reproduce:
+ *  - distributed rw > ro > wo, with rw roughly double wo (rw counts
+ *    both transaction directions and both are TX-bound);
+ *  - accessing more than eight banks of one vault does not raise
+ *    bandwidth (the 10 GB/s vault bound);
+ *  - single-bank bandwidth of a few GB/s.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+struct Fig7Results
+{
+    std::vector<std::string> patterns;
+    std::vector<std::array<double, 3>> gbps; // ro, rw, wo
+};
+
+const Fig7Results &
+results()
+{
+    static const Fig7Results r = [] {
+        Fig7Results out;
+        const RequestMix mixes[3] = {RequestMix::ReadOnly,
+                                     RequestMix::ReadModifyWrite,
+                                     RequestMix::WriteOnly};
+        for (const AccessPattern &p : patternAxis()) {
+            out.patterns.push_back(p.name);
+            std::array<double, 3> row{};
+            for (int m = 0; m < 3; ++m)
+                row[m] = measure(p, mixes[m], 128).rawGBps;
+            out.gbps.push_back(row);
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig7Results &r = results();
+    std::printf("\nFig. 7: measured HMC bandwidth for ro / rw / wo "
+                "(128 B = 8 flit accesses, random)\n\n");
+    TextTable table({"Access pattern", "ro GB/s", "rw GB/s", "wo GB/s"});
+    for (std::size_t i = 0; i < r.patterns.size(); ++i) {
+        table.addRow({r.patterns[i], strfmt("%.1f", r.gbps[i][0]),
+                      strfmt("%.1f", r.gbps[i][1]),
+                      strfmt("%.1f", r.gbps[i][2])});
+    }
+    table.print();
+
+    const auto &dist = r.gbps.front(); // 16 vaults
+    std::printf("\nShape checks (16 vaults): rw/wo = %.2f (paper ~2), "
+                "rw/ro = %.2f (paper >1)\n\n",
+                dist[1] / dist[2], dist[1] / dist[0]);
+}
+
+void
+BM_Fig07_AccessTypes(benchmark::State &state)
+{
+    const Fig7Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["ro_16vaults_GBps"] = r.gbps.front()[0];
+    state.counters["rw_16vaults_GBps"] = r.gbps.front()[1];
+    state.counters["wo_16vaults_GBps"] = r.gbps.front()[2];
+    state.counters["ro_1vault_GBps"] = r.gbps[4][0];
+    state.counters["ro_1bank_GBps"] = r.gbps.back()[0];
+}
+BENCHMARK(BM_Fig07_AccessTypes);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 8 reproduction: read-only bandwidth and million-requests-per-
+ * second (MRPS) for 128 / 64 / 32 B request sizes across the pattern
+ * axis.
+ *
+ * Paper shapes to reproduce:
+ *  - bandwidth is nearly flat across request sizes (DRAM timing and
+ *    link bandwidth bound, not FPGA buffering);
+ *  - for distributed patterns the 32 B MRPS is roughly double the
+ *    128 B MRPS;
+ *  - for targeted patterns (1-2 banks) MRPS is similar across sizes
+ *    (the bank row cycle dominates).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr std::array<Bytes, 3> sizes = {128, 64, 32};
+
+struct Fig8Results
+{
+    std::vector<std::string> patterns;
+    std::vector<std::array<double, 3>> gbps;
+    std::vector<std::array<double, 3>> mrps;
+};
+
+const Fig8Results &
+results()
+{
+    static const Fig8Results r = [] {
+        Fig8Results out;
+        for (const AccessPattern &p : patternAxis()) {
+            out.patterns.push_back(p.name);
+            std::array<double, 3> bw{};
+            std::array<double, 3> rate{};
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                const MeasurementResult m =
+                    measure(p, RequestMix::ReadOnly, sizes[s]);
+                bw[s] = m.rawGBps;
+                rate[s] = m.mrps;
+            }
+            out.gbps.push_back(bw);
+            out.mrps.push_back(rate);
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig8Results &r = results();
+    std::printf("\nFig. 8: read-only bandwidth and request rate vs "
+                "request size (random)\n\n");
+    TextTable table({"Access pattern", "128B GB/s", "64B GB/s",
+                     "32B GB/s", "128B MRPS", "64B MRPS", "32B MRPS"});
+    for (std::size_t i = 0; i < r.patterns.size(); ++i) {
+        table.addRow({r.patterns[i],
+                      strfmt("%.1f", r.gbps[i][0]),
+                      strfmt("%.1f", r.gbps[i][1]),
+                      strfmt("%.1f", r.gbps[i][2]),
+                      strfmt("%.0f", r.mrps[i][0]),
+                      strfmt("%.0f", r.mrps[i][1]),
+                      strfmt("%.0f", r.mrps[i][2])});
+    }
+    table.print();
+
+    std::printf("\nShape checks: 16-vault MRPS(32B)/MRPS(128B) = %.2f "
+                "(paper ~2); 2-bank MRPS(32B)/MRPS(128B) = %.2f "
+                "(paper ~1)\n\n",
+                r.mrps.front()[2] / r.mrps.front()[0],
+                r.mrps[r.mrps.size() - 2][2] /
+                    r.mrps[r.mrps.size() - 2][0]);
+}
+
+void
+BM_Fig08_RequestSizes(benchmark::State &state)
+{
+    const Fig8Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["gbps_128B_16vaults"] = r.gbps.front()[0];
+    state.counters["gbps_32B_16vaults"] = r.gbps.front()[2];
+    state.counters["mrps_128B_16vaults"] = r.mrps.front()[0];
+    state.counters["mrps_32B_16vaults"] = r.mrps.front()[2];
+}
+BENCHMARK(BM_Fig08_RequestSizes);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

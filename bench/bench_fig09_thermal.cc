@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fig. 9 reproduction: HMC heatsink temperature and bandwidth across
+ * the access-pattern axis under the Table III cooling configurations,
+ * for ro / wo / rw.
+ *
+ * Paper shapes to reproduce:
+ *  - temperature stays flat across the first (bandwidth-saturated)
+ *    patterns and drops as bandwidth drops (2 vaults .. 1 bank);
+ *  - read-only never fails, even in the weakest cooling (~80 C < 85);
+ *  - write-heavy mixes fail in weak cooling configs (the paper's
+ *    Fig. 9b shows wo only for Cfg1-2, Fig. 9c shows rw for Cfg1-3);
+ *    failed combinations print as FAIL and are excluded.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+struct Cell
+{
+    double temperatureC;
+    bool failure;
+};
+
+struct Fig9Results
+{
+    std::vector<std::string> patterns;
+    // [mix] -> per pattern bandwidth
+    std::vector<std::vector<double>> gbps;
+    // [mix][cfg][pattern]
+    std::vector<std::vector<std::vector<Cell>>> cells;
+};
+
+constexpr RequestMix mixes[3] = {RequestMix::ReadOnly,
+                                 RequestMix::WriteOnly,
+                                 RequestMix::ReadModifyWrite};
+
+const Fig9Results &
+results()
+{
+    static const Fig9Results r = [] {
+        Fig9Results out;
+        for (const AccessPattern &p : patternAxis())
+            out.patterns.push_back(p.name);
+        const PowerModel power;
+        for (int m = 0; m < 3; ++m) {
+            std::vector<double> bw;
+            std::vector<std::vector<Cell>> per_cfg(4);
+            for (const AccessPattern &p : patternAxis()) {
+                const MeasurementResult meas = measure(p, mixes[m], 128);
+                bw.push_back(meas.rawGBps);
+                for (unsigned c = 0; c < 4; ++c) {
+                    const PowerThermalResult pt = power.solve(
+                        meas.traffic(), mixes[m], coolingConfig(c + 1));
+                    per_cfg[c].push_back(
+                        {pt.temperatureC, pt.failure});
+                }
+            }
+            out.gbps.push_back(std::move(bw));
+            out.cells.push_back(std::move(per_cfg));
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig9Results &r = results();
+    const char *titles[3] = {"(a) read-only", "(b) write-only",
+                             "(c) read-modify-write"};
+    std::printf("\nFig. 9: heatsink temperature and bandwidth per "
+                "access pattern and cooling configuration\n");
+    for (int m = 0; m < 3; ++m) {
+        std::printf("\n%s\n\n", titles[m]);
+        TextTable table({"Access pattern", "BW GB/s", "Cfg4", "Cfg3",
+                         "Cfg2", "Cfg1"});
+        for (std::size_t i = 0; i < r.patterns.size(); ++i) {
+            std::vector<std::string> row;
+            row.push_back(r.patterns[i]);
+            row.push_back(strfmt("%.1f", r.gbps[m][i]));
+            for (int c = 3; c >= 0; --c) {
+                const Cell &cell = r.cells[m][c][i];
+                row.push_back(cell.failure
+                                  ? strfmt("FAIL(%.0fC)",
+                                           cell.temperatureC)
+                                  : strfmt("%.1f C", cell.temperatureC));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+    }
+
+    // Which configurations survive each mix at full load (pattern 0)?
+    std::printf("\nSurviving configurations at the most distributed "
+                "pattern (paper: ro all, wo Cfg1-2, rw Cfg1-3):\n");
+    for (int m = 0; m < 3; ++m) {
+        std::printf("  %s:", requestMixName(mixes[m]));
+        for (unsigned c = 0; c < 4; ++c) {
+            if (!r.cells[m][c].front().failure)
+                std::printf(" Cfg%u", c + 1);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+BM_Fig09_Thermal(benchmark::State &state)
+{
+    const Fig9Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["ro_cfg4_maxT_C"] = r.cells[0][3].front().temperatureC;
+    state.counters["wo_cfg3_fails"] = r.cells[1][2].front().failure;
+    state.counters["rw_cfg3_fails"] = r.cells[2][2].front().failure;
+    state.counters["rw_cfg4_fails"] = r.cells[2][3].front().failure;
+}
+BENCHMARK(BM_Fig09_Thermal);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

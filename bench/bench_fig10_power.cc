@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fig. 10 reproduction: average system (wall) power per access
+ * pattern and cooling configuration, for ro / wo / rw.
+ *
+ * Paper shapes to reproduce:
+ *  - power rises with bandwidth;
+ *  - at the same bandwidth, weaker cooling costs more power (the
+ *    power-temperature coupling through leakage);
+ *  - the absolute range sits a few watts above the 100 W machine
+ *    idle (the paper plots 104-118 W).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr RequestMix mixes[3] = {RequestMix::ReadOnly,
+                                 RequestMix::WriteOnly,
+                                 RequestMix::ReadModifyWrite};
+
+struct Fig10Results
+{
+    std::vector<std::string> patterns;
+    std::vector<std::vector<double>> gbps;           // [mix][pattern]
+    std::vector<std::vector<std::vector<double>>> watts; // [mix][cfg][pat]
+    std::vector<std::vector<std::vector<bool>>> fails;
+};
+
+const Fig10Results &
+results()
+{
+    static const Fig10Results r = [] {
+        Fig10Results out;
+        for (const AccessPattern &p : patternAxis())
+            out.patterns.push_back(p.name);
+        const PowerModel power;
+        for (int m = 0; m < 3; ++m) {
+            std::vector<double> bw;
+            std::vector<std::vector<double>> per_cfg(4);
+            std::vector<std::vector<bool>> fail(4);
+            for (const AccessPattern &p : patternAxis()) {
+                const MeasurementResult meas = measure(p, mixes[m], 128);
+                bw.push_back(meas.rawGBps);
+                for (unsigned c = 0; c < 4; ++c) {
+                    const PowerThermalResult pt = power.solve(
+                        meas.traffic(), mixes[m], coolingConfig(c + 1));
+                    per_cfg[c].push_back(pt.systemW);
+                    fail[c].push_back(pt.failure);
+                }
+            }
+            out.gbps.push_back(std::move(bw));
+            out.watts.push_back(std::move(per_cfg));
+            out.fails.push_back(std::move(fail));
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig10Results &r = results();
+    const char *titles[3] = {"(a) read-only", "(b) write-only",
+                             "(c) read-modify-write"};
+    std::printf("\nFig. 10: average system power per access pattern "
+                "and cooling configuration (W)\n");
+    for (int m = 0; m < 3; ++m) {
+        std::printf("\n%s\n\n", titles[m]);
+        TextTable table({"Access pattern", "BW GB/s", "Cfg4", "Cfg3",
+                         "Cfg2", "Cfg1"});
+        for (std::size_t i = 0; i < r.patterns.size(); ++i) {
+            std::vector<std::string> row;
+            row.push_back(r.patterns[i]);
+            row.push_back(strfmt("%.1f", r.gbps[m][i]));
+            for (int c = 3; c >= 0; --c) {
+                row.push_back(r.fails[m][c][i]
+                                  ? std::string("FAIL")
+                                  : strfmt("%.1f", r.watts[m][c][i]));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+    }
+
+    // Coupling check: same workload, weaker cooling -> more watts.
+    const double cfg1 = r.watts[0][0].front();
+    const double cfg4 = r.watts[0][3].front();
+    std::printf("\nCoupling check (ro, 16 vaults): Cfg1 %.1f W vs "
+                "Cfg4 %.1f W (+%.1f W from leakage at higher "
+                "temperature)\n\n",
+                cfg1, cfg4, cfg4 - cfg1);
+}
+
+void
+BM_Fig10_Power(benchmark::State &state)
+{
+    const Fig10Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["ro_cfg1_W"] = r.watts[0][0].front();
+    state.counters["ro_cfg4_W"] = r.watts[0][3].front();
+    state.counters["wo_cfg1_W"] = r.watts[1][0].front();
+    state.counters["rw_cfg1_W"] = r.watts[2][0].front();
+}
+BENCHMARK(BM_Fig10_Power);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

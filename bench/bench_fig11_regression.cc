@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 11 reproduction: linear-regression fits of (a) temperature and
+ * (b) system power against bandwidth in Cfg2, per request type.
+ *
+ * Paper shapes to reproduce:
+ *  - all slopes positive;
+ *  - temperature rises ~3 C (ro) and ~4 C (rw) from 5 to 20 GB/s;
+ *  - wo has the steepest temperature slope;
+ *  - device power rises ~2 W from 5 to 20 GB/s.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/regression.hh"
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr RequestMix mixes[3] = {RequestMix::ReadOnly,
+                                 RequestMix::WriteOnly,
+                                 RequestMix::ReadModifyWrite};
+
+struct Fig11Results
+{
+    LinearFit tempFit[3];
+    LinearFit powerFit[3];
+};
+
+const Fig11Results &
+results()
+{
+    static const Fig11Results r = [] {
+        Fig11Results out;
+        const PowerModel power;
+        const CoolingConfig &cfg2 = coolingConfig(2);
+        for (int m = 0; m < 3; ++m) {
+            std::vector<double> bw, temps, watts;
+            for (const AccessPattern &p : patternAxis()) {
+                const MeasurementResult meas = measure(p, mixes[m], 128);
+                const PowerThermalResult pt =
+                    power.solve(meas.traffic(), mixes[m], cfg2);
+                if (pt.failure)
+                    continue; // Cfg2 fails nothing; kept for safety.
+                bw.push_back(meas.rawGBps);
+                temps.push_back(pt.temperatureC);
+                watts.push_back(pt.systemW);
+            }
+            out.tempFit[m] = linearFit(bw, temps);
+            out.powerFit[m] = linearFit(bw, watts);
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig11Results &r = results();
+    std::printf("\nFig. 11: temperature/power vs bandwidth linear "
+                "fits in Cfg2\n\n");
+    TextTable table({"Type", "T slope C/(GB/s)", "T @5GB/s", "T @20GB/s",
+                     "dT 5->20", "P slope W/(GB/s)", "dP 5->20", "R^2(T)"});
+    for (int m = 0; m < 3; ++m) {
+        const LinearFit &t = r.tempFit[m];
+        const LinearFit &p = r.powerFit[m];
+        table.addRow({requestMixName(mixes[m]),
+                      strfmt("%.3f", t.slope),
+                      strfmt("%.1f C", t.at(5.0)),
+                      strfmt("%.1f C", t.at(20.0)),
+                      strfmt("%.1f C", t.at(20.0) - t.at(5.0)),
+                      strfmt("%.3f", p.slope),
+                      strfmt("%.1f W", p.at(20.0) - p.at(5.0)),
+                      strfmt("%.2f", t.r2)});
+    }
+    table.print();
+    std::printf("\nPaper: dT(ro) ~3 C, dT(rw) ~4 C over 5->20 GB/s; wo "
+                "steepest; dP ~2 W.\n\n");
+}
+
+void
+BM_Fig11_Regression(benchmark::State &state)
+{
+    const Fig11Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["ro_dT_5to20_C"] =
+        r.tempFit[0].at(20.0) - r.tempFit[0].at(5.0);
+    state.counters["rw_dT_5to20_C"] =
+        r.tempFit[2].at(20.0) - r.tempFit[2].at(5.0);
+    state.counters["wo_T_slope"] = r.tempFit[1].slope;
+    state.counters["ro_dP_5to20_W"] =
+        r.powerFit[0].at(20.0) - r.powerFit[0].at(5.0);
+}
+BENCHMARK(BM_Fig11_Regression);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fig. 12 reproduction: cooling power required to hold the HMC at a
+ * fixed temperature as bandwidth grows, per request type.
+ *
+ * The paper derives this by combining the Table III cooling powers
+ * (19.32/15.9/13.9/10.78 W) with linear regressions over the Fig. 9
+ * measurements; we invert our calibrated thermal model the same way.
+ * Shape to reproduce: every iso-temperature line rises with
+ * bandwidth; on average ~1.5 W of extra cooling per +16 GB/s.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/regression.hh"
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr RequestMix mixes[3] = {RequestMix::ReadOnly,
+                                 RequestMix::WriteOnly,
+                                 RequestMix::ReadModifyWrite};
+// Iso-temperature lines per subfigure, as in the paper's panels.
+const std::vector<std::vector<double>> isoTemps = {
+    {50, 55, 60, 65, 70}, // ro
+    {45, 50},             // wo
+    {45, 50, 55},         // rw
+};
+
+struct Fig12Results
+{
+    // [mix]: bandwidth grid and per-iso-temp cooling power rows.
+    std::vector<std::vector<double>> bwGrid;
+    std::vector<std::vector<std::vector<double>>> coolingW;
+    double avgSlopePer16GBps = 0.0;
+};
+
+const Fig12Results &
+results()
+{
+    static const Fig12Results r = [] {
+        Fig12Results out;
+        const PowerModel power;
+        std::vector<double> slopes;
+        for (int m = 0; m < 3; ++m) {
+            // Traffic summaries along the pattern axis give realistic
+            // payload mixes at each bandwidth point.
+            std::vector<double> bws;
+            std::vector<TrafficSummary> traffics;
+            for (const AccessPattern &p : patternAxis()) {
+                const MeasurementResult meas = measure(p, mixes[m], 128);
+                bws.push_back(meas.rawGBps);
+                traffics.push_back(meas.traffic());
+            }
+            out.bwGrid.push_back(bws);
+
+            std::vector<std::vector<double>> rows;
+            for (double iso : isoTemps[m]) {
+                std::vector<double> row;
+                std::vector<double> fit_x, fit_y;
+                for (std::size_t i = 0; i < bws.size(); ++i) {
+                    const double w =
+                        power.requiredCoolingPower(traffics[i], iso);
+                    row.push_back(w);
+                    if (!std::isnan(w)) {
+                        fit_x.push_back(bws[i]);
+                        fit_y.push_back(w);
+                    }
+                }
+                if (fit_x.size() >= 2)
+                    slopes.push_back(linearFit(fit_x, fit_y).slope);
+                rows.push_back(std::move(row));
+            }
+            out.coolingW.push_back(std::move(rows));
+        }
+        double sum = 0.0;
+        for (double s : slopes)
+            sum += s;
+        out.avgSlopePer16GBps =
+            slopes.empty() ? 0.0 : 16.0 * sum / slopes.size();
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig12Results &r = results();
+    const char *titles[3] = {"(a) read-only", "(b) write-only",
+                             "(c) read-modify-write"};
+    std::printf("\nFig. 12: required cooling power (W) to hold a "
+                "target temperature vs bandwidth\n");
+    for (int m = 0; m < 3; ++m) {
+        std::printf("\n%s\n\n", titles[m]);
+        std::vector<std::string> headers = {"BW GB/s"};
+        for (double iso : isoTemps[m])
+            headers.push_back(strfmt("%.0f C", iso));
+        TextTable table(std::move(headers));
+        for (std::size_t i = 0; i < r.bwGrid[m].size(); ++i) {
+            std::vector<std::string> row = {
+                strfmt("%.1f", r.bwGrid[m][i])};
+            for (std::size_t t = 0; t < isoTemps[m].size(); ++t) {
+                const double w = r.coolingW[m][t][i];
+                row.push_back(std::isnan(w) ? std::string("--")
+                                            : strfmt("%.1f", w));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+    }
+    std::printf("\nAverage extra cooling power per +16 GB/s: %.2f W "
+                "(paper: ~1.5 W)\n\n",
+                r.avgSlopePer16GBps);
+}
+
+void
+BM_Fig12_CoolingPower(benchmark::State &state)
+{
+    const Fig12Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["avg_coolingW_per_16GBps"] = r.avgSlopePer16GBps;
+}
+BENCHMARK(BM_Fig12_CoolingPower);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

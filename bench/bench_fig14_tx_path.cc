@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fig. 14 reproduction: latency deconstruction of the HMC controller
+ * transmit (TX) and receive (RX) paths on the FPGA.
+ *
+ * Paper numbers to reproduce: ~54 cycles / ~287 ns on the TX path for
+ * a 128 B request, ~260 ns on the RX path, ~547 ns total
+ * infrastructure latency, and ~125 ns spent inside the HMC at low
+ * load.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+struct Fig14Results
+{
+    std::vector<StageLatency> tx;
+    std::vector<StageLatency> rx;
+    double txTotalNs = 0.0;
+    double rxTotalNs = 0.0;
+    double infraNs = 0.0;
+    double minRoundTripNs = 0.0; ///< Measured via a 1-request stream.
+    double inHmcNs = 0.0;
+};
+
+const Fig14Results &
+results()
+{
+    static const Fig14Results r = [] {
+        Fig14Results out;
+        // Build a system only to query the controller's breakdown.
+        Ac510Config sys;
+        Ac510Module module(sys);
+        const HmcController &ctrl = module.controller();
+
+        const Bytes req = requestBytes(Command::Write, 128); // 9 flits
+        const Bytes resp = responseBytes(Command::Read, 128);
+        out.tx = ctrl.txStageBreakdown(req);
+        out.rx = ctrl.rxStageBreakdown(resp);
+        for (const auto &s : out.tx)
+            out.txTotalNs += s.ns;
+        for (const auto &s : out.rx)
+            out.rxTotalNs += s.ns;
+        out.infraNs = ctrl.infrastructureLatencyNs(
+            requestBytes(Command::Read, 128), resp);
+
+        // Measure the actual minimum round trip with a single read.
+        StreamExperimentConfig stream;
+        stream.requestsPerStream = 1;
+        stream.requestSize = 128;
+        stream.repetitions = 128;
+        const SampleStats lat = runStreamExperiment(stream);
+        out.minRoundTripNs = lat.min();
+        out.inHmcNs = out.minRoundTripNs - out.infraNs;
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig14Results &r = results();
+    std::printf("\nFig. 14: TX-path deconstruction (128 B request, "
+                "187.5 MHz FPGA)\n\n");
+    TextTable tx({"Stage", "Cycles", "ns"});
+    for (const auto &s : r.tx)
+        tx.addRow({s.name, s.cycles ? strfmt("%u", s.cycles) : "-",
+                   strfmt("%.1f", s.ns)});
+    tx.addRow({"TOTAL TX", "-", strfmt("%.1f", r.txTotalNs)});
+    tx.print();
+
+    std::printf("\nRX-path deconstruction (128 B response)\n\n");
+    TextTable rx({"Stage", "Cycles", "ns"});
+    for (const auto &s : r.rx)
+        rx.addRow({s.name, s.cycles ? strfmt("%u", s.cycles) : "-",
+                   strfmt("%.1f", s.ns)});
+    rx.addRow({"TOTAL RX", "-", strfmt("%.1f", r.rxTotalNs)});
+    rx.print();
+
+    std::printf("\nInfrastructure round-trip (read request + 128 B "
+                "response): %.0f ns (paper: ~547 ns)\n",
+                r.infraNs);
+    std::printf("Measured minimum 128 B read round trip: %.0f ns; "
+                "time inside the HMC: %.0f ns (paper: ~125 ns "
+                "average)\n\n",
+                r.minRoundTripNs, r.inHmcNs);
+}
+
+void
+BM_Fig14_TxPath(benchmark::State &state)
+{
+    const Fig14Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["tx_total_ns"] = r.txTotalNs;
+    state.counters["rx_total_ns"] = r.rxTotalNs;
+    state.counters["infra_ns"] = r.infraNs;
+    state.counters["in_hmc_ns"] = r.inHmcNs;
+}
+BENCHMARK(BM_Fig14_TxPath);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fig. 15 reproduction: low-load latency measured with stream GUPS.
+ * Streams of 2..28 read requests for sizes 16/32/64/128 B; average,
+ * minimum, and maximum latency per stream size.
+ *
+ * Paper shapes to reproduce:
+ *  - latency grows with the number of requests in the stream, faster
+ *    for larger packets (a 28x128 B stream is ~1.5x a 28x16 B one);
+ *  - 2-request streams cost nearly the same at every size;
+ *  - minimum latency is flat in the stream size; growth comes from
+ *    the maximum (interference in the logic layer);
+ *  - minimum latency of 128 B packets is tens of ns above 16 B.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr std::array<Bytes, 4> sizes = {16, 32, 64, 128};
+
+struct Point
+{
+    double minUs, avgUs, maxUs;
+};
+
+struct Fig15Results
+{
+    std::vector<unsigned> streamSizes;
+    // [size][stream index]
+    std::vector<std::vector<Point>> points;
+};
+
+const Fig15Results &
+results()
+{
+    static const Fig15Results r = [] {
+        Fig15Results out;
+        for (unsigned n = 2; n <= 28; n += 2)
+            out.streamSizes.push_back(n);
+        for (Bytes size : sizes) {
+            std::vector<Point> series;
+            for (unsigned n : out.streamSizes) {
+                StreamExperimentConfig cfg;
+                cfg.requestsPerStream = n;
+                cfg.requestSize = size;
+                cfg.repetitions = 48;
+                const SampleStats lat = runStreamExperiment(cfg);
+                series.push_back({lat.min() / 1000.0,
+                                  lat.mean() / 1000.0,
+                                  lat.max() / 1000.0});
+            }
+            out.points.push_back(std::move(series));
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig15Results &r = results();
+    std::printf("\nFig. 15: low-load latency vs number of read "
+                "requests in a stream (us)\n");
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::printf("\n(%c) size %llu B\n\n",
+                    static_cast<char>('a' + s),
+                    static_cast<unsigned long long>(sizes[s]));
+        TextTable table({"# reads", "min us", "avg us", "max us"});
+        for (std::size_t i = 0; i < r.streamSizes.size(); ++i) {
+            const Point &p = r.points[s][i];
+            table.addRow({strfmt("%u", r.streamSizes[i]),
+                          strfmt("%.3f", p.minUs),
+                          strfmt("%.3f", p.avgUs),
+                          strfmt("%.3f", p.maxUs)});
+        }
+        table.print();
+    }
+
+    const Point &small28 = r.points[0].back();
+    const Point &large28 = r.points[3].back();
+    std::printf("\nShape checks: avg(28x128B)/avg(28x16B) = %.2f "
+                "(paper ~1.5); min128B - min16B = %.0f ns (paper "
+                "~56 ns); min latency flat in stream size: %.3f -> "
+                "%.3f us\n\n",
+                large28.avgUs / small28.avgUs,
+                (r.points[3].front().minUs - r.points[0].front().minUs) *
+                    1000.0,
+                r.points[3].front().minUs, r.points[3].back().minUs);
+}
+
+void
+BM_Fig15_LowLoadLatency(benchmark::State &state)
+{
+    const Fig15Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["min_16B_ns"] = r.points[0].front().minUs * 1000.0;
+    state.counters["min_128B_ns"] = r.points[3].front().minUs * 1000.0;
+    state.counters["avg28_128B_over_16B"] =
+        r.points[3].back().avgUs / r.points[0].back().avgUs;
+}
+BENCHMARK(BM_Fig15_LowLoadLatency);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

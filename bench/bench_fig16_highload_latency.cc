@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 16 reproduction: high-load read latency across the access-
+ * pattern axis for 32/64/128 B requests, together with bandwidth.
+ *
+ * Paper shapes to reproduce:
+ *  - latency spans ~2 us (32 B over 16 vaults) to ~24 us (128 B into
+ *    one bank); high-load latency is ~12x low-load latency;
+ *  - 32 B requests are always the fastest (32 B vault bus granule);
+ *  - targeted patterns pay heavily for request serialization; the
+ *    growth is queuing delay governed by the 9x64 outstanding-read
+ *    tag pool (Little's law).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr std::array<Bytes, 3> sizes = {128, 64, 32};
+
+struct Fig16Results
+{
+    std::vector<std::string> patterns;
+    // [size][pattern]
+    std::vector<std::vector<double>> gbps;
+    std::vector<std::vector<double>> latencyUs;
+};
+
+const Fig16Results &
+results()
+{
+    static const Fig16Results r = [] {
+        Fig16Results out;
+        for (const AccessPattern &p : patternAxis())
+            out.patterns.push_back(p.name);
+        for (Bytes size : sizes) {
+            std::vector<double> bw, lat;
+            for (const AccessPattern &p : patternAxis()) {
+                const MeasurementResult m =
+                    measure(p, RequestMix::ReadOnly, size);
+                bw.push_back(m.rawGBps);
+                lat.push_back(m.readLatencyNs.mean() / 1000.0);
+            }
+            out.gbps.push_back(std::move(bw));
+            out.latencyUs.push_back(std::move(lat));
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig16Results &r = results();
+    std::printf("\nFig. 16: high-load read latency and bandwidth per "
+                "access pattern (full-scale GUPS)\n\n");
+    TextTable table({"Access pattern", "BW128 GB/s", "BW64", "BW32",
+                     "Lat128 us", "Lat64 us", "Lat32 us"});
+    for (std::size_t i = 0; i < r.patterns.size(); ++i) {
+        table.addRow({r.patterns[i],
+                      strfmt("%.1f", r.gbps[0][i]),
+                      strfmt("%.1f", r.gbps[1][i]),
+                      strfmt("%.1f", r.gbps[2][i]),
+                      strfmt("%.2f", r.latencyUs[0][i]),
+                      strfmt("%.2f", r.latencyUs[1][i]),
+                      strfmt("%.2f", r.latencyUs[2][i])});
+    }
+    table.print();
+
+    std::printf("\nShape checks: latency range %.2f us (32B, 16 "
+                "vaults) to %.2f us (128B, 1 bank); paper: 1.97 us "
+                "to 24.2 us. 32 B is fastest in every pattern.\n\n",
+                r.latencyUs[2].front(), r.latencyUs[0].back());
+}
+
+void
+BM_Fig16_HighLoadLatency(benchmark::State &state)
+{
+    const Fig16Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["lat32B_16vaults_us"] = r.latencyUs[2].front();
+    state.counters["lat128B_1bank_us"] = r.latencyUs[0].back();
+    state.counters["lat128B_16vaults_us"] = r.latencyUs[0].front();
+}
+BENCHMARK(BM_Fig16_HighLoadLatency);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

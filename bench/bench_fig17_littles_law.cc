@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fig. 17 reproduction: latency vs request bandwidth for four-bank
+ * and two-bank access patterns, swept with small-scale GUPS (1..9
+ * active ports), plus the paper's Little's-law analysis of the vault
+ * controller at the saturation point.
+ *
+ * Paper shapes to reproduce:
+ *  - latency saturates beyond a knee bandwidth that depends on the
+ *    packet size;
+ *  - applying Little's law at the knee yields an occupancy that is
+ *    constant across packet sizes, and the two-bank occupancy is
+ *    about half the four-bank occupancy (per-bank queuing).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "analysis/regression.hh"
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr std::array<Bytes, 4> sizes = {16, 32, 64, 128};
+
+struct Curve
+{
+    Bytes size;
+    std::vector<LatencyBandwidthPoint> points;
+    double kneeOccupancy = 0.0; ///< requests in flight at the knee
+};
+
+struct Fig17Results
+{
+    std::vector<Curve> fourBanks;
+    std::vector<Curve> twoBanks;
+};
+
+std::vector<Curve>
+sweepPattern(const AccessPattern &pattern)
+{
+    std::vector<Curve> curves;
+    for (Bytes size : sizes) {
+        Curve c;
+        c.size = size;
+        for (unsigned ports = 1; ports <= maxGupsPorts; ++ports) {
+            const MeasurementResult m =
+                measure(pattern, RequestMix::ReadOnly, size,
+                        AddressingMode::Random, ports);
+            c.points.push_back(
+                {m.rawGBps, m.readLatencyNs.mean() / 1000.0});
+        }
+        const std::size_t knee = saturationKnee(c.points, 2.0);
+        c.kneeOccupancy = littlesLawOccupancy(
+            c.points[knee].latencyUs,
+            c.points[knee].bandwidthGBps * 1000.0 /
+                static_cast<double>(transactionBytes(Command::Read,
+                                                     size)));
+        curves.push_back(std::move(c));
+    }
+    return curves;
+}
+
+const Fig17Results &
+results()
+{
+    static const Fig17Results r = [] {
+        Fig17Results out;
+        out.fourBanks = sweepPattern(bankPattern(defaultMapper(), 4));
+        out.twoBanks = sweepPattern(bankPattern(defaultMapper(), 2));
+        return out;
+    }();
+    return r;
+}
+
+void
+printCurves(const char *title, const std::vector<Curve> &curves)
+{
+    std::printf("\n%s\n\n", title);
+    std::vector<std::string> headers = {"ports"};
+    for (const Curve &c : curves) {
+        headers.push_back(strfmt("BW%lluB",
+                                 static_cast<unsigned long long>(c.size)));
+        headers.push_back(strfmt("Lat%lluB us",
+                                 static_cast<unsigned long long>(c.size)));
+    }
+    TextTable table(std::move(headers));
+    for (unsigned p = 0; p < maxGupsPorts; ++p) {
+        std::vector<std::string> row = {strfmt("%u", p + 1)};
+        for (const Curve &c : curves) {
+            row.push_back(strfmt("%.2f", c.points[p].bandwidthGBps));
+            row.push_back(strfmt("%.2f", c.points[p].latencyUs));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    std::printf("\nLittle's-law occupancy at the saturation knee "
+                "(requests in flight):");
+    for (const Curve &c : curves)
+        std::printf("  %lluB: %.0f",
+                    static_cast<unsigned long long>(c.size),
+                    c.kneeOccupancy);
+    std::printf("\n");
+}
+
+void
+printFigure()
+{
+    const Fig17Results &r = results();
+    std::printf("\nFig. 17: latency vs request bandwidth, small-scale "
+                "GUPS (1..9 ports)\n");
+    printCurves("(a) four banks within a vault", r.fourBanks);
+    printCurves("(b) two banks within a vault", r.twoBanks);
+
+    double occ4 = 0.0, occ2 = 0.0;
+    for (const Curve &c : r.fourBanks)
+        occ4 += c.kneeOccupancy / r.fourBanks.size();
+    for (const Curve &c : r.twoBanks)
+        occ2 += c.kneeOccupancy / r.twoBanks.size();
+    std::printf("\nMean knee occupancy: 4 banks %.0f, 2 banks %.0f "
+                "(ratio %.2f).\n"
+                "Reproduced: latency saturates at a size-dependent "
+                "bandwidth and the knee occupancy is constant across "
+                "packet sizes (the paper's \"constant number\").\n"
+                "Known divergence: the paper infers a ~2x occupancy "
+                "ratio between 4- and 2-bank patterns and conjectures "
+                "per-bank queues in the vault controller; our flow "
+                "control is bounded only by the 9x64 read tag pool, "
+                "so both patterns show the same occupancy (see "
+                "EXPERIMENTS.md).\n\n",
+                occ4, occ2, occ4 / occ2);
+}
+
+void
+BM_Fig17_LittlesLaw(benchmark::State &state)
+{
+    const Fig17Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["occ_4banks_128B"] = r.fourBanks.back().kneeOccupancy;
+    state.counters["occ_2banks_128B"] = r.twoBanks.back().kneeOccupancy;
+}
+BENCHMARK(BM_Fig17_LittlesLaw);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

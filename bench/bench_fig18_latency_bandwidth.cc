@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fig. 18 reproduction: read latency vs request bandwidth for every
+ * access pattern and request size, swept with small-scale GUPS.
+ *
+ * Paper shapes to reproduce:
+ *  - patterns inside one vault saturate at the ~10 GB/s vault bound;
+ *  - two-vault patterns saturate near 19 GB/s (~2x a vault);
+ *  - wider patterns do not reach saturation with 9 ports;
+ *  - more banks => more outstanding requests before the knee (BLP),
+ *    except beyond 8 banks where the vault bus takes over.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+constexpr std::array<Bytes, 4> sizes = {16, 32, 64, 128};
+
+struct Fig18Results
+{
+    std::vector<std::string> patterns;
+    // [size][pattern][ports-1] -> {bandwidth, latency}
+    std::vector<std::vector<std::vector<std::pair<double, double>>>>
+        curves;
+};
+
+const Fig18Results &
+results()
+{
+    static const Fig18Results r = [] {
+        Fig18Results out;
+        // Axis reversed vs Fig. 7: 1 bank .. 16 vaults, as the paper's
+        // legend orders the series.
+        std::vector<AccessPattern> axis;
+        for (unsigned b = 1; b <= 8; b *= 2)
+            axis.push_back(bankPattern(defaultMapper(), b));
+        for (unsigned v = 1; v <= 16; v *= 2)
+            axis.push_back(vaultPattern(defaultMapper(), v));
+        for (const AccessPattern &p : axis)
+            out.patterns.push_back(p.name);
+
+        for (Bytes size : sizes) {
+            std::vector<std::vector<std::pair<double, double>>> per_pat;
+            for (const AccessPattern &p : axis) {
+                std::vector<std::pair<double, double>> curve;
+                for (unsigned ports = 1; ports <= maxGupsPorts;
+                     ports += 2) {
+                    const MeasurementResult m =
+                        measure(p, RequestMix::ReadOnly, size,
+                                AddressingMode::Random, ports);
+                    curve.emplace_back(m.rawGBps,
+                                       m.readLatencyNs.mean() / 1000.0);
+                }
+                per_pat.push_back(std::move(curve));
+            }
+            out.curves.push_back(std::move(per_pat));
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Fig18Results &r = results();
+    std::printf("\nFig. 18: read latency vs request bandwidth "
+                "(small-scale GUPS, ports = 1,3,5,7,9)\n");
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::printf("\n(%c) size %llu B -- rows: pattern; cells: "
+                    "BW GB/s @ latency us\n\n",
+                    static_cast<char>('a' + s),
+                    static_cast<unsigned long long>(sizes[s]));
+        TextTable table({"Pattern", "1 port", "3 ports", "5 ports",
+                         "7 ports", "9 ports"});
+        for (std::size_t p = 0; p < r.patterns.size(); ++p) {
+            std::vector<std::string> row = {r.patterns[p]};
+            for (const auto &[bw, lat] : r.curves[s][p])
+                row.push_back(strfmt("%.1f @ %.2f", bw, lat));
+            table.addRow(std::move(row));
+        }
+        table.print();
+    }
+
+    // Saturation bandwidths with all ports at 128 B.
+    const auto &full128 = r.curves[3];
+    std::printf("\nShape checks (128 B, 9 ports): 1 vault saturates "
+                "at %.1f GB/s (paper ~10), 2 vaults at %.1f GB/s "
+                "(paper ~19), 16 vaults reaches %.1f GB/s without "
+                "saturating.\n\n",
+                full128[4].back().first, full128[5].back().first,
+                full128[8].back().first);
+}
+
+void
+BM_Fig18_LatencyBandwidth(benchmark::State &state)
+{
+    const Fig18Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["sat_1vault_GBps"] = r.curves[3][4].back().first;
+    state.counters["sat_2vaults_GBps"] = r.curves[3][5].back().first;
+    state.counters["bw_16vaults_GBps"] = r.curves[3][8].back().first;
+}
+BENCHMARK(BM_Fig18_LatencyBandwidth);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulator performance: how fast the discrete-event core and the
+ * full platform run on the host machine. Not a paper artifact --
+ * this is the bench a simulator project ships so users can budget
+ * their sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "host/experiment.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    // Steady-state heap churn: every fired event schedules another
+    // until the budget runs out, with 64 chains interleaving.
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        EventQueue queue;
+        std::uint64_t remaining = 100000;
+        std::function<void()> tick = [&]() {
+            if (remaining > 0) {
+                --remaining;
+                queue.scheduleIn(100, tick);
+            }
+        };
+        for (int i = 0; i < 64; ++i)
+            queue.schedule(static_cast<Tick>(i), tick);
+        queue.runToCompletion();
+        executed += queue.executed();
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+    state.SetLabel("events");
+}
+BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullPlatformSimulation(benchmark::State &state)
+{
+    // Simulated-time throughput of the full 9-port system under load.
+    const Tick window = 200 * tickUs;
+    std::uint64_t transactions = 0;
+    for (auto _ : state) {
+        Ac510Config cfg;
+        Ac510Module module(cfg);
+        module.start();
+        module.runUntil(window);
+        transactions += module.aggregateStats().readsCompleted;
+        benchmark::DoNotOptimize(transactions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(transactions));
+    state.SetLabel("transactions");
+    state.counters["sim_us_per_iter"] = ticksToUs(window);
+}
+BENCHMARK(BM_FullPlatformSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    const AddressMapper mapper(HmcConfig::gen2_4GB(),
+                               MaxBlockSize::B128);
+    Xoshiro256StarStar rng(5);
+    for (auto _ : state) {
+        const DecodedAddress d =
+            mapper.decode(rng.nextBounded(4ull * gib));
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_ExperimentEndToEnd(benchmark::State &state)
+{
+    // Cost of one complete runExperiment (construction + warmup +
+    // measurement), the unit of every sweep in bench/.
+    for (auto _ : state) {
+        ExperimentConfig cfg;
+        cfg.warmup = 20 * tickUs;
+        cfg.measure = 100 * tickUs;
+        benchmark::DoNotOptimize(runExperiment(cfg).rawGBps);
+    }
+}
+BENCHMARK(BM_ExperimentEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

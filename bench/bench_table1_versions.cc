@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Table I reproduction: structural properties of HMC versions.
+ *
+ * Prints the table the paper assembles from the HMC specifications
+ * and reports the derived quantities (Eq. 1 bank count, Eq. 2 peak
+ * bandwidth) as benchmark counters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/table.hh"
+#include "hmc/config.hh"
+#include "link/link.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+void
+printTable1()
+{
+    TextTable table({"Property", "HMC 1.0 (Gen1)", "HMC 1.1 (Gen2)",
+                     "HMC 2.0"});
+    const HmcConfig gen1 = HmcConfig::gen1();
+    const HmcConfig gen2a = HmcConfig::gen2_2GB();
+    const HmcConfig gen2b = HmcConfig::gen2_4GB();
+    const HmcConfig hmc2a = HmcConfig::hmc2_4GB();
+    const HmcConfig hmc2b = HmcConfig::hmc2_8GB();
+
+    auto gb = [](Bytes b) {
+        return strfmt("%.1f GB", static_cast<double>(b) / gib);
+    };
+    auto mb = [](Bytes b) {
+        return strfmt("%llu MB",
+                      static_cast<unsigned long long>(b / mib));
+    };
+    auto pair_u = [](unsigned a, unsigned b) {
+        return a == b ? strfmt("%u", a) : strfmt("%u/%u", a, b);
+    };
+
+    table.addRow({"Size", gb(gen1.capacity),
+                  strfmt("%.0f/%.0f GB",
+                         static_cast<double>(gen2a.capacity) / gib,
+                         static_cast<double>(gen2b.capacity) / gib),
+                  strfmt("%.0f/%.0f GB",
+                         static_cast<double>(hmc2a.capacity) / gib,
+                         static_cast<double>(hmc2b.capacity) / gib)});
+    table.addRow({"# DRAM Layers", strfmt("%u", gen1.numDramLayers),
+                  pair_u(gen2a.numDramLayers, gen2b.numDramLayers),
+                  pair_u(hmc2a.numDramLayers, hmc2b.numDramLayers)});
+    table.addRow({"DRAM Layer Size", strfmt("%u Gb", gen1.dramLayerGbits),
+                  strfmt("%u Gb", gen2b.dramLayerGbits),
+                  pair_u(hmc2a.dramLayerGbits, hmc2b.dramLayerGbits)});
+    table.addRow({"# Quadrants", strfmt("%u", gen1.numQuadrants),
+                  strfmt("%u", gen2b.numQuadrants),
+                  strfmt("%u", hmc2a.numQuadrants)});
+    table.addRow({"# Vaults", strfmt("%u", gen1.numVaults),
+                  strfmt("%u", gen2b.numVaults),
+                  strfmt("%u", hmc2a.numVaults)});
+    table.addRow({"Vault/Quadrant", strfmt("%u", gen1.vaultsPerQuadrant()),
+                  strfmt("%u", gen2b.vaultsPerQuadrant()),
+                  strfmt("%u", hmc2a.vaultsPerQuadrant())});
+    table.addRow({"# Banks (Eq. 1)", strfmt("%u", gen1.numBanks()),
+                  pair_u(gen2a.numBanks(), gen2b.numBanks()),
+                  pair_u(hmc2a.numBanks(), hmc2b.numBanks())});
+    table.addRow({"# Banks/Vault", strfmt("%u", gen1.banksPerVault()),
+                  pair_u(gen2a.banksPerVault(), gen2b.banksPerVault()),
+                  pair_u(hmc2a.banksPerVault(), hmc2b.banksPerVault())});
+    table.addRow({"Bank Size", mb(gen1.bankBytes()), mb(gen2b.bankBytes()),
+                  mb(hmc2a.bankBytes())});
+    table.addRow({"Partition Size", mb(gen1.partitionBytes()),
+                  mb(gen2b.partitionBytes()), mb(hmc2a.partitionBytes())});
+
+    std::printf("\nTable I: Properties of HMC versions (derived from "
+                "structural configs)\n\n");
+    table.print();
+
+    LinkConfig ac510;
+    std::printf("\nEq. 2 check: 2 links x 8 lanes x 15 Gbps x 2 = "
+                "%.0f GB/s peak bidirectional\n\n",
+                ac510.peakBidirectionalBytesPerSecond() / 1e9);
+}
+
+void
+BM_Table1(benchmark::State &state)
+{
+    const HmcConfig cfg = HmcConfig::gen2_4GB();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cfg.numBanks());
+    state.counters["banks_gen2_4GB"] = cfg.numBanks();
+    state.counters["banks_per_vault"] = cfg.banksPerVault();
+    state.counters["bank_MB"] =
+        static_cast<double>(cfg.bankBytes()) / mib;
+    LinkConfig link;
+    state.counters["peak_GBps"] =
+        link.peakBidirectionalBytesPerSecond() / 1e9;
+}
+BENCHMARK(BM_Table1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

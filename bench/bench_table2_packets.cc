@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table II reproduction: HMC read/write request/response sizes in
+ * flits, plus the effective-bandwidth arithmetic of Sec. IV-D.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/table.hh"
+#include "protocol/packet.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+void
+printTable2()
+{
+    std::printf("\nTable II: HMC read/write request/response sizes\n\n");
+    TextTable table({"Data size", "RD req", "RD resp", "WR req",
+                     "WR resp", "RD total", "WR total"});
+    for (Bytes payload = 16; payload <= 128; payload += 16) {
+        table.addRow({strfmt("%3llu B",
+                             static_cast<unsigned long long>(payload)),
+                      strfmt("%u flit", requestFlits(Command::Read, payload)),
+                      strfmt("%u flits",
+                             responseFlits(Command::Read, payload)),
+                      strfmt("%u flits",
+                             requestFlits(Command::Write, payload)),
+                      strfmt("%u flit",
+                             responseFlits(Command::Write, payload)),
+                      strfmt("%llu B",
+                             static_cast<unsigned long long>(
+                                 transactionBytes(Command::Read, payload))),
+                      strfmt("%llu B",
+                             static_cast<unsigned long long>(
+                                 transactionBytes(Command::Write,
+                                                  payload)))});
+    }
+    table.print();
+
+    std::printf("\nEffective bandwidth fraction (Sec. IV-D): "
+                "128 B -> %.0f%%, 16 B -> %.0f%%\n\n",
+                effectiveBandwidthFraction(128) * 100.0,
+                effectiveBandwidthFraction(16) * 100.0);
+}
+
+void
+BM_Table2(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transactionBytes(Command::Read, 128));
+    state.counters["rd128_total_flits"] =
+        requestFlits(Command::Read, 128) + responseFlits(Command::Read, 128);
+    state.counters["wr128_total_flits"] =
+        requestFlits(Command::Write, 128) +
+        responseFlits(Command::Write, 128);
+    state.counters["eff_bw_128B_pct"] =
+        effectiveBandwidthFraction(128) * 100.0;
+    state.counters["eff_bw_16B_pct"] =
+        effectiveBandwidthFraction(16) * 100.0;
+}
+BENCHMARK(BM_Table2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table III reproduction: the four cooling configurations with their
+ * fan settings, computed cooling powers, and idle HMC temperatures,
+ * plus the model's idle steady state (which must reproduce the
+ * measured idle temperatures by construction).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/table.hh"
+#include "thermal/thermal_model.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+void
+printTable3()
+{
+    std::printf("\nTable III: experiment cooling configurations\n\n");
+    TextTable table({"Configuration", "Voltage", "Current",
+                     "Fan distance", "Cooling power", "Idle temp",
+                     "Model idle", "R_th (fit)"});
+    for (const CoolingConfig &cfg : coolingConfigs()) {
+        const ThermalModel model(cfg);
+        const double idle =
+            model.steadyState(0.0, RequestMix::ReadOnly).temperatureC;
+        table.addRow({cfg.name, strfmt("%.1f V", cfg.fanVoltage),
+                      strfmt("%.2f A", cfg.fanCurrent),
+                      strfmt("%.0f cm", cfg.fanDistanceCm),
+                      strfmt("%.2f W", cfg.coolingPowerW),
+                      strfmt("%.1f C", cfg.idleTemperatureC),
+                      strfmt("%.1f C", idle),
+                      strfmt("%.2f C/W", cfg.thermalResistance)});
+    }
+    table.print();
+    std::printf("\nReliability bounds: %.0f C (read-intensive), "
+                "%.0f C (write-heavy)\n\n",
+                readTemperatureLimitC, writeTemperatureLimitC);
+}
+
+void
+BM_Table3(benchmark::State &state)
+{
+    const CoolingConfig &cfg2 = coolingConfig(2);
+    const ThermalModel model(cfg2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.steadyState(3.0, RequestMix::ReadOnly).temperatureC);
+    state.counters["cfg1_idle_C"] = coolingConfig(1).idleTemperatureC;
+    state.counters["cfg4_idle_C"] = coolingConfig(4).idleTemperatureC;
+    state.counters["cfg1_cooling_W"] = coolingConfig(1).coolingPowerW;
+    state.counters["cfg4_cooling_W"] = coolingConfig(4).coolingPowerW;
+}
+BENCHMARK(BM_Table3);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable3();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

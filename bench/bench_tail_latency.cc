@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Extension bench: tail latency (p50/p99) across the access-pattern
+ * axis.
+ *
+ * The paper reports min/avg/max (the GUPS monitoring registers); a
+ * modern deployment also budgets against percentiles. This companion
+ * to Figs. 15/16 reports the median and 99th percentile of the read
+ * round trip per access pattern, at high load and at a moderated
+ * load (3 ports), showing where the tail detaches from the median.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+struct Row
+{
+    std::string pattern;
+    double p50Full, p99Full, maxFull;
+    double p50Light, p99Light;
+};
+
+const std::vector<Row> &
+results()
+{
+    static const std::vector<Row> rows = [] {
+        std::vector<Row> out;
+        for (const AccessPattern &p : patternAxis()) {
+            const MeasurementResult full =
+                measure(p, RequestMix::ReadOnly, 128);
+            const MeasurementResult light =
+                measure(p, RequestMix::ReadOnly, 128,
+                        AddressingMode::Random, 3);
+            out.push_back({p.name, full.readLatencyP50Ns / 1000.0,
+                           full.readLatencyP99Ns / 1000.0,
+                           full.readLatencyNs.max() / 1000.0,
+                           light.readLatencyP50Ns / 1000.0,
+                           light.readLatencyP99Ns / 1000.0});
+        }
+        return out;
+    }();
+    return rows;
+}
+
+void
+printFigure()
+{
+    std::printf("\nTail latency per access pattern (128 B reads; "
+                "us)\n\n");
+    TextTable table({"Pattern", "p50 (9 ports)", "p99 (9 ports)",
+                     "max (9 ports)", "p50 (3 ports)",
+                     "p99 (3 ports)"});
+    for (const Row &r : results()) {
+        table.addRow({r.pattern, strfmt("%.2f", r.p50Full),
+                      strfmt("%.2f", r.p99Full),
+                      strfmt("%.2f", r.maxFull),
+                      strfmt("%.2f", r.p50Light),
+                      strfmt("%.2f", r.p99Light)});
+    }
+    table.print();
+
+    const auto &rows = results();
+    std::printf("\nUnder tag-pool-saturated load the distribution is "
+                "tight where the bottleneck is shared uniformly "
+                "(p99/p50 = %.2f at 16 vaults: every request waits "
+                "the same queue). The tail detaches on *mixed-"
+                "residency* patterns -- p99/p50 = %.2f at 2 vaults "
+                "and %.2f at 2 banks, where a request's cost depends "
+                "on which vault/bank it drew.\n\n",
+                rows.front().p99Full / rows.front().p50Full,
+                rows[3].p99Full / rows[3].p50Full,
+                rows[7].p99Full / rows[7].p50Full);
+}
+
+void
+BM_TailLatency(benchmark::State &state)
+{
+    const auto &rows = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&rows);
+    state.counters["p50_16v_us"] = rows.front().p50Full;
+    state.counters["p99_16v_us"] = rows.front().p99Full;
+    state.counters["p99_1bank_us"] = rows.back().p99Full;
+}
+BENCHMARK(BM_TailLatency);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extension bench: time to thermal failure, from the coupled
+ * co-simulation.
+ *
+ * Fig. 9 reports which (mix, cooling) combinations fail; the paper's
+ * methodology (200 s runs) also implies *when* they fail, which
+ * matters operationally: it is the window a checkpointing scheme
+ * must beat (Sec. IV-C: recovery relies on checkpoint + rollback).
+ * This bench runs the transient loop for every combination and
+ * reports settle temperatures or failure times.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/table.hh"
+#include "host/cosim.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+struct Cell
+{
+    bool failed;
+    double failureTimeS;
+    double finalTempC;
+};
+
+struct Results
+{
+    // [mix][cooling-1]
+    Cell cells[3][4];
+};
+
+constexpr RequestMix mixes[3] = {RequestMix::ReadOnly,
+                                 RequestMix::WriteOnly,
+                                 RequestMix::ReadModifyWrite};
+
+const Results &
+results()
+{
+    static const Results r = [] {
+        Results out;
+        for (int m = 0; m < 3; ++m) {
+            for (unsigned c = 1; c <= 4; ++c) {
+                CoSimConfig cfg;
+                cfg.experiment.mix = mixes[m];
+                cfg.experiment.warmup = 50 * tickUs;
+                cfg.cooling = coolingConfig(c);
+                cfg.sliceSimTime = 100 * tickUs;
+                cfg.wallStepSeconds = 2.0;
+                const CoSimResult res = runCoSimulation(cfg);
+                out.cells[m][c - 1] = {res.failed,
+                                       res.failureTimeSeconds,
+                                       res.finalTemperatureC};
+            }
+        }
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const Results &r = results();
+    std::printf("\nTime to thermal failure over a 200 s run "
+                "(transient co-simulation, full-bandwidth "
+                "patterns)\n\n");
+    TextTable table({"Mix", "Cfg1", "Cfg2", "Cfg3", "Cfg4"});
+    for (int m = 0; m < 3; ++m) {
+        std::vector<std::string> row = {requestMixName(mixes[m])};
+        for (unsigned c = 0; c < 4; ++c) {
+            const Cell &cell = r.cells[m][c];
+            row.push_back(cell.failed
+                              ? strfmt("FAIL @ %.0f s",
+                                       cell.failureTimeS)
+                              : strfmt("ok, %.1f C", cell.finalTempC));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    std::printf("\nOperational reading: a write-heavy PIM kernel in "
+                "the weak cooling tiers has on the order of a minute "
+                "before the cube shuts down and loses its contents -- "
+                "checkpoint intervals must be shorter than that "
+                "(cf. examples/failure_recovery).\n\n");
+}
+
+void
+BM_TimeToFailure(benchmark::State &state)
+{
+    const Results &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["wo_cfg3_fail_s"] = r.cells[1][2].failureTimeS;
+    state.counters["wo_cfg4_fail_s"] = r.cells[1][3].failureTimeS;
+    state.counters["ro_cfg4_final_C"] = r.cells[0][3].finalTempC;
+}
+BENCHMARK(BM_TimeToFailure);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Workload characterization on the simulated HMC: the application
+ * shapes the paper's introduction motivates (random updates, streams,
+ * skewed key-value access, pointer chasing) replayed as traces.
+ *
+ * This extends the paper's synthetic GUPS sweep toward "real
+ * application" behavior: the frequency, size, and coverage of
+ * accesses determine performance (Sec. II-C), and dependence depth
+ * determines how much of the latency hierarchy an application feels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/table.hh"
+#include "gups/trace.hh"
+#include "host/trace_replay.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+struct Row
+{
+    const char *name;
+    unsigned window;
+    TraceReplayResult result;
+};
+
+const std::vector<Row> &
+results()
+{
+    static const std::vector<Row> rows = [] {
+        std::vector<Row> out;
+        SyntheticTraceConfig base;
+        base.numEntries = 60000;
+        base.requestSize = 128;
+
+        auto run = [&out](const char *name, const Trace &trace,
+                          unsigned window) {
+            TraceReplayConfig rc;
+            rc.maxOutstanding = window;
+            out.push_back({name, window, replayTrace(trace, rc)});
+        };
+
+        run("GUPS (uniform random)", uniformTrace(base), 64);
+        run("stream (dense linear)", stridedTrace(base, 128), 64);
+
+        SyntheticTraceConfig strided = base;
+        run("strided (4 KB stride)", stridedTrace(strided, 4096), 64);
+
+        SyntheticTraceConfig mixed = base;
+        mixed.writeFraction = 0.5;
+        run("update-heavy (50% writes)", uniformTrace(mixed), 64);
+
+        run("key-value (zipf 0.99, 64K keys)",
+            zipfTrace(base, 0.99, 65536), 64);
+        run("hot-key (zipf 1.5, 1K keys)",
+            zipfTrace(base, 1.5, 1024), 64);
+
+        SyntheticTraceConfig chase = base;
+        chase.numEntries = 4000;
+        chase.footprint = 64 * mib;
+        run("pointer chase (dependent)", pointerChaseTrace(chase), 1);
+        return out;
+    }();
+    return rows;
+}
+
+void
+printFigure()
+{
+    std::printf("\nWorkload characterization: application-shaped "
+                "traces on the AC-510 + HMC platform\n\n");
+    TextTable table({"Workload", "Window", "Raw GB/s", "Payload GB/s",
+                     "MRPS", "Avg lat us"});
+    for (const Row &r : results()) {
+        table.addRow({r.name, strfmt("%u", r.window),
+                      strfmt("%.1f", r.result.rawGBps),
+                      strfmt("%.1f", r.result.payloadGBps),
+                      strfmt("%.0f", r.result.mrps),
+                      strfmt("%.2f",
+                             r.result.latencyNs.mean() / 1000.0)});
+    }
+    table.print();
+
+    const auto &rows = results();
+    std::printf("\nTakeaways: parallel-friendly shapes (uniform, "
+                "stream, mild zipf) all ride the link bound; extreme "
+                "key skew (%.1f GB/s) collapses onto few banks; a "
+                "dependent chase sees the full round trip per hop "
+                "(%.2f us => %.0fx slower than GUPS).\n\n",
+                rows[5].result.rawGBps,
+                rows[6].result.latencyNs.mean() / 1000.0,
+                rows[0].result.mrps / rows[6].result.mrps);
+}
+
+void
+BM_Workloads(benchmark::State &state)
+{
+    const auto &rows = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&rows);
+    state.counters["gups_GBps"] = rows[0].result.rawGBps;
+    state.counters["stream_GBps"] = rows[1].result.rawGBps;
+    state.counters["hotkey_GBps"] = rows[5].result.rawGBps;
+    state.counters["chase_Mrps"] = rows[6].result.mrps;
+}
+BENCHMARK(BM_Workloads);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

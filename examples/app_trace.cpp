@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Replaying an application trace.
+ *
+ * Shows the trace workflow end to end: load a trace from a file (or
+ * fall back to an embedded one), replay it against the simulated
+ * AC-510 + HMC platform at two dependence windows, and print the
+ * measurements. Usage:
+ *
+ *     ./app_trace [trace-file]
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/table.hh"
+#include "gups/trace.hh"
+#include "host/trace_replay.hh"
+
+using namespace hmcsim;
+
+namespace
+{
+
+/** A small embedded demo trace: a hash-table batch lookup -- random
+ *  128 B bucket reads, each followed by a 16 B atomic counter bump. */
+Trace
+demoTrace()
+{
+    SyntheticTraceConfig cfg;
+    cfg.numEntries = 20000;
+    cfg.requestSize = 128;
+    cfg.footprint = 1 * gib;
+    Trace lookups = uniformTrace(cfg);
+    Trace trace;
+    trace.reserve(lookups.size() * 2);
+    for (const TraceEntry &lookup : lookups) {
+        trace.push_back(lookup);
+        trace.push_back({Command::Atomic, lookup.addr, 16});
+    }
+    return trace;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Trace trace;
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 1;
+        }
+        trace = parseTrace(in);
+        std::printf("loaded %zu records from %s\n\n", trace.size(),
+                    argv[1]);
+    } else {
+        trace = demoTrace();
+        std::printf("no trace file given; using the embedded "
+                    "hash-table demo (%zu records)\n\n",
+                    trace.size());
+    }
+
+    TextTable table({"Issue window", "Raw GB/s", "Payload GB/s", "MRPS",
+                     "Avg lat us", "Drain time ms"});
+    for (unsigned window : {1u, 8u, 64u}) {
+        TraceReplayConfig cfg;
+        cfg.maxOutstanding = window;
+        const TraceReplayResult r = replayTrace(trace, cfg);
+        table.addRow({strfmt("%u outstanding", window),
+                      strfmt("%.2f", r.rawGBps),
+                      strfmt("%.2f", r.payloadGBps),
+                      strfmt("%.1f", r.mrps),
+                      strfmt("%.2f", r.latencyNs.mean() / 1000.0),
+                      strfmt("%.2f", ticksToUs(r.elapsed) / 1000.0)});
+    }
+    table.print();
+
+    std::printf("\nThe window is the knob applications control: "
+                "expose independent requests (prefetch, batch, hash "
+                "multiple keys) and the packet-switched HMC overlaps "
+                "them; serialize and you pay the full ~0.7 us round "
+                "trip per access.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Graph analytics on HMC: host-side vs in-memory updates.
+ *
+ * The paper cites GraphPIM (instruction-level PIM offloading for
+ * graph frameworks) as a motivating direction. This example builds
+ * one BFS-like frontier expansion over a synthetic graph in CSR form
+ * and expresses it two ways against the simulated cube:
+ *
+ *  - host-side: read each vertex's adjacency block, then
+ *    read-modify-write every touched neighbor's state word;
+ *  - PIM-style: read the adjacency block, then issue one atomic
+ *    update per neighbor (the update logic runs in the vault).
+ *
+ * The traffic difference is exactly the offload argument: atomics
+ * cut the per-neighbor link traffic from 2 x (16 B + overhead)
+ * packets with data both ways to a 48 B round trip.
+ */
+
+#include <cstdio>
+
+#include "analysis/table.hh"
+#include "gups/trace.hh"
+#include "host/trace_replay.hh"
+#include "sim/random.hh"
+
+using namespace hmcsim;
+
+namespace
+{
+
+struct GraphParams
+{
+    std::size_t frontierVertices = 4000;
+    unsigned avgDegree = 8;
+    Bytes adjacencyBlock = 128; ///< one max-block of edges per read
+    Bytes graphFootprint = 2 * gib;
+};
+
+/** Build the frontier-expansion trace. */
+Trace
+buildTrace(const GraphParams &g, bool use_atomics, std::uint64_t seed)
+{
+    Xoshiro256StarStar rng(seed);
+    Trace trace;
+    const Bytes slots = g.graphFootprint / g.adjacencyBlock;
+    for (std::size_t v = 0; v < g.frontierVertices; ++v) {
+        // Adjacency list read (CSR row): one 128 B block.
+        trace.push_back({Command::Read,
+                         rng.nextBounded(slots) * g.adjacencyBlock,
+                         g.adjacencyBlock});
+        // Touch each neighbor's 16 B state word.
+        const unsigned degree =
+            1 + static_cast<unsigned>(rng.nextBounded(2 * g.avgDegree));
+        for (unsigned e = 0; e < degree; ++e) {
+            const Addr state =
+                rng.nextBounded(g.graphFootprint / 16) * 16;
+            if (use_atomics) {
+                trace.push_back({Command::Atomic, state, 16});
+            } else {
+                trace.push_back({Command::Read, state, 16});
+                trace.push_back({Command::Write, state, 16});
+            }
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+int
+main()
+{
+    const GraphParams graph;
+    std::printf("BFS frontier expansion: %zu vertices, ~%u neighbors "
+                "each, CSR adjacency in a %llu MB graph\n\n",
+                graph.frontierVertices, graph.avgDegree,
+                static_cast<unsigned long long>(graph.graphFootprint /
+                                                mib));
+
+    const Trace host_trace = buildTrace(graph, false, 11);
+    const Trace pim_trace = buildTrace(graph, true, 11);
+
+    TextTable table({"Strategy", "Requests", "Raw GB/s",
+                     "Edges M/s", "Drain ms", "Link bytes/edge"});
+    double host_ms = 0.0, pim_ms = 0.0;
+    for (int pim = 0; pim <= 1; ++pim) {
+        const Trace &trace = pim ? pim_trace : host_trace;
+        TraceReplayConfig cfg;
+        cfg.maxOutstanding = 128;
+        const TraceReplayResult r = replayTrace(trace, cfg);
+        const double edges =
+            static_cast<double>(host_trace.size() -
+                                graph.frontierVertices) /
+            2.0; // host trace has read+write per edge
+        const double ms = ticksToUs(r.elapsed) / 1000.0;
+        (pim ? pim_ms : host_ms) = ms;
+        const double raw_bytes =
+            r.rawGBps * ticksToSeconds(r.elapsed) * 1e9;
+        table.addRow({pim ? "PIM atomics" : "host rw",
+                      strfmt("%zu", trace.size()),
+                      strfmt("%.1f", r.rawGBps),
+                      strfmt("%.1f", edges / ms / 1000.0),
+                      strfmt("%.2f", ms),
+                      strfmt("%.0f", raw_bytes / edges)});
+    }
+    table.print();
+
+    std::printf("\nOffloading the neighbor updates into the cube "
+                "finishes the frontier %.2fx faster and moves less "
+                "link data per edge -- the GraphPIM-style win the "
+                "paper's PIM discussion anticipates. The thermal "
+                "caveat from Sec. IV-C still applies: in-memory "
+                "updates are write-heavy, so the 75 C bound governs "
+                "sustained operation (see examples/thermal_budget).\n",
+                host_ms / pim_ms);
+    return 0;
+}

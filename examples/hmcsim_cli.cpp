@@ -1,0 +1,249 @@
+/**
+ * @file
+ * hmcsim_cli -- run any paper-style experiment from the command line.
+ *
+ *     hmcsim_cli [options]
+ *       --mix ro|wo|rw|atomic      request mix          (default ro)
+ *       --size N                   request bytes        (default 128)
+ *       --vaults N                 vault pattern 1..16
+ *       --banks N                  bank pattern 1..16 (within vault 0)
+ *       --ports N                  active GUPS ports    (default 9)
+ *       --linear                   linear addressing    (default random)
+ *       --cooling 1..4             Table III config     (default 1)
+ *       --measure-us N             window length        (default 1000)
+ *       --maxblock 16|32|64|128    mode register        (default 128)
+ *       --mapping vault|bank|contig  interleave scheme
+ *       --ber X                    lane bit error rate  (default 0)
+ *       --refresh X                refresh multiplier   (default off)
+ *       --csv                      machine-readable one-line output
+ *       --stats [prefix]           dump the component statistics
+ *       --trace FILE [--window N]  replay a trace file instead
+ *
+ * Examples:
+ *     hmcsim_cli --mix rw
+ *     hmcsim_cli --banks 2 --size 32 --ports 4 --cooling 3
+ *     hmcsim_cli --mapping contig --linear --csv
+ *     hmcsim_cli --stats system.hmc.vault0
+ *     hmcsim_cli --trace workload.trc --window 32
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "host/experiment.hh"
+#include "host/trace_replay.hh"
+#include "sim/stat_registry.hh"
+
+using namespace hmcsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--mix ro|wo|rw|atomic] [--size N] "
+                 "[--vaults N | --banks N] [--ports N] [--linear] "
+                 "[--cooling 1..4] [--measure-us N] [--maxblock N] "
+                 "[--mapping vault|bank|contig] [--ber X] "
+                 "[--refresh X] [--csv]\n",
+                 argv0);
+    std::exit(2);
+}
+
+const char *
+next(int argc, char **argv, int &i)
+{
+    if (++i >= argc)
+        usage(argv[0]);
+    return argv[i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    unsigned cooling = 1;
+    unsigned vaults = 16;
+    unsigned banks = 0;
+    bool csv = false;
+    bool dump_stats = false;
+    std::string stats_prefix;
+    std::string trace_file;
+    unsigned trace_window = 64;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--mix") {
+            const std::string mix = next(argc, argv, i);
+            if (mix == "ro")
+                cfg.mix = RequestMix::ReadOnly;
+            else if (mix == "wo")
+                cfg.mix = RequestMix::WriteOnly;
+            else if (mix == "rw")
+                cfg.mix = RequestMix::ReadModifyWrite;
+            else if (mix == "atomic")
+                cfg.mix = RequestMix::Atomic;
+            else
+                usage(argv[0]);
+        } else if (arg == "--size") {
+            cfg.requestSize = std::strtoull(next(argc, argv, i), nullptr, 0);
+        } else if (arg == "--vaults") {
+            vaults = std::strtoul(next(argc, argv, i), nullptr, 0);
+            banks = 0;
+        } else if (arg == "--banks") {
+            banks = std::strtoul(next(argc, argv, i), nullptr, 0);
+        } else if (arg == "--ports") {
+            cfg.numPorts = std::strtoul(next(argc, argv, i), nullptr, 0);
+        } else if (arg == "--linear") {
+            cfg.mode = AddressingMode::Linear;
+        } else if (arg == "--cooling") {
+            cooling = std::strtoul(next(argc, argv, i), nullptr, 0);
+        } else if (arg == "--measure-us") {
+            cfg.measure =
+                std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
+        } else if (arg == "--maxblock") {
+            cfg.device.maxBlock = static_cast<MaxBlockSize>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else if (arg == "--mapping") {
+            const std::string scheme = next(argc, argv, i);
+            if (scheme == "vault")
+                cfg.device.mapping = MappingScheme::VaultFirst;
+            else if (scheme == "bank")
+                cfg.device.mapping = MappingScheme::BankFirst;
+            else if (scheme == "contig")
+                cfg.device.mapping = MappingScheme::ContiguousVault;
+            else
+                usage(argv[0]);
+        } else if (arg == "--ber") {
+            cfg.controller.bitErrorRate =
+                std::strtod(next(argc, argv, i), nullptr);
+        } else if (arg == "--refresh") {
+            cfg.device.vault.refreshEnabled = true;
+            cfg.device.vault.refreshMultiplier =
+                std::strtod(next(argc, argv, i), nullptr);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                stats_prefix = argv[++i];
+        } else if (arg == "--trace") {
+            trace_file = next(argc, argv, i);
+        } else if (arg == "--window") {
+            trace_window = std::strtoul(next(argc, argv, i), nullptr, 0);
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (!trace_file.empty()) {
+        std::ifstream in(trace_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", trace_file.c_str());
+            return 1;
+        }
+        const Trace trace = parseTrace(in);
+        TraceReplayConfig rc;
+        rc.maxOutstanding = trace_window;
+        rc.device = cfg.device;
+        rc.controller = cfg.controller;
+        const TraceReplayResult r = replayTrace(trace, rc);
+        std::printf("trace        : %s (%zu records, window %u)\n",
+                    trace_file.c_str(), trace.size(), trace_window);
+        std::printf("raw bandwidth: %.2f GB/s (payload %.2f)\n",
+                    r.rawGBps, r.payloadGBps);
+        std::printf("request rate : %.1f MRPS\n", r.mrps);
+        std::printf("latency      : avg %.0f ns  min %.0f  max %.0f\n",
+                    r.latencyNs.mean(), r.latencyNs.min(),
+                    r.latencyNs.max());
+        std::printf("drain time   : %.3f ms\n",
+                    ticksToUs(r.elapsed) / 1000.0);
+        return 0;
+    }
+
+    if (dump_stats) {
+        // Run the configured workload on a raw module and dump every
+        // registered counter.
+        const AddressMapper m(cfg.device.structure, cfg.device.maxBlock,
+                              256, cfg.device.mapping);
+        Ac510Config sys;
+        sys.numPorts = cfg.numPorts;
+        sys.port.mix = cfg.mix;
+        sys.port.requestSize = cfg.requestSize;
+        sys.port.mode = cfg.mode;
+        const AccessPattern pat = banks ? bankPattern(m, banks)
+                                        : vaultPattern(m, vaults);
+        sys.port.mask = pat.mask;
+        sys.port.antiMask = pat.antiMask;
+        sys.device = cfg.device;
+        sys.controller = cfg.controller;
+        Ac510Module module(sys);
+        StatRegistry registry;
+        module.registerStats(registry, StatPath("system"));
+        module.start();
+        module.runUntil(cfg.warmup + cfg.measure);
+        for (const StatEntry *entry :
+             registry.matching(stats_prefix.empty() ? "system"
+                                                    : stats_prefix)) {
+            std::printf("%-44s %.6g\n", entry->name.c_str(),
+                        entry->value());
+        }
+        return 0;
+    }
+
+    const AddressMapper mapper(cfg.device.structure, cfg.device.maxBlock,
+                               256, cfg.device.mapping);
+    cfg.pattern = banks ? bankPattern(mapper, banks)
+                        : vaultPattern(mapper, vaults);
+
+    const ThermalExperimentResult r =
+        runThermalExperiment(cfg, coolingConfig(cooling));
+    const MeasurementResult &m = r.measurement;
+    const PowerThermalResult &pt = r.powerThermal;
+
+    if (csv) {
+        std::printf("pattern,mix,size,ports,mode,cooling,raw_gbps,mrps,"
+                    "lat_avg_ns,lat_min_ns,lat_max_ns,temp_c,system_w,"
+                    "failure\n");
+        std::printf("%s,%s,%llu,%u,%s,Cfg%u,%.3f,%.2f,%.0f,%.0f,%.0f,"
+                    "%.1f,%.1f,%d\n",
+                    m.patternName.c_str(), requestMixName(m.mix),
+                    static_cast<unsigned long long>(m.requestSize),
+                    cfg.numPorts, addressingModeName(cfg.mode), cooling,
+                    m.rawGBps, m.mrps, m.readLatencyNs.mean(),
+                    m.readLatencyNs.min(), m.readLatencyNs.max(),
+                    pt.temperatureC, pt.systemW, pt.failure ? 1 : 0);
+        return 0;
+    }
+
+    std::printf("pattern      : %s (%s, %s)\n", m.patternName.c_str(),
+                requestMixName(m.mix), addressingModeName(cfg.mode));
+    std::printf("request size : %llu B (%u ports)\n",
+                static_cast<unsigned long long>(m.requestSize),
+                cfg.numPorts);
+    std::printf("raw bandwidth: %.2f GB/s  (%.1f MRPS)\n", m.rawGBps,
+                m.mrps);
+    if (m.readLatencyNs.count() > 0) {
+        std::printf("read latency : avg %.0f ns  min %.0f  max %.0f\n",
+                    m.readLatencyNs.mean(), m.readLatencyNs.min(),
+                    m.readLatencyNs.max());
+    }
+    if (m.writeLatencyNs.count() > 0) {
+        std::printf("write latency: avg %.0f ns\n",
+                    m.writeLatencyNs.mean());
+    }
+    std::printf("thermal      : %.1f C in %s (%s)\n", pt.temperatureC,
+                coolingConfig(cooling).name.c_str(),
+                pt.failure ? "THERMAL FAILURE" : "ok");
+    std::printf("system power : %.1f W (HMC dynamic %.2f W, leakage "
+                "%.2f W)\n",
+                pt.systemW, pt.hmcDynamicW, pt.leakageW);
+    return 0;
+}

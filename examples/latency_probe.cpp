@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Latency probe: where does a memory reference spend its time?
+ *
+ * Uses the controller's Fig. 14 stage breakdown plus stream-GUPS
+ * measurements to print an annotated round-trip budget for a single
+ * read, then shows how queueing inflates it as load rises -- the
+ * low-load-to-high-load story of Secs. IV-E2 and IV-E3.
+ */
+
+#include <cstdio>
+
+#include "analysis/table.hh"
+#include "host/experiment.hh"
+
+using namespace hmcsim;
+
+int
+main()
+{
+    Ac510Config sys;
+    Ac510Module module(sys);
+    const HmcController &ctrl = module.controller();
+
+    const Bytes size = 128;
+    std::printf("Round-trip budget for one %llu B read\n\n",
+                static_cast<unsigned long long>(size));
+
+    TextTable table({"Path", "Stage", "ns"});
+    for (const StageLatency &s :
+         ctrl.txStageBreakdown(requestBytes(Command::Read, size)))
+        table.addRow({"TX", s.name, strfmt("%.1f", s.ns)});
+    table.addRow({"HMC", "quadrant routing + vault + DRAM + response",
+                  "(measured below)"});
+    for (const StageLatency &s :
+         ctrl.rxStageBreakdown(responseBytes(Command::Read, size)))
+        table.addRow({"RX", s.name, strfmt("%.1f", s.ns)});
+    table.print();
+
+    const double infra = ctrl.infrastructureLatencyNs(
+        requestBytes(Command::Read, size),
+        responseBytes(Command::Read, size));
+
+    // Measure the minimum end-to-end latency with a single read.
+    StreamExperimentConfig one;
+    one.requestsPerStream = 1;
+    one.requestSize = size;
+    one.repetitions = 64;
+    const double min_rtt = runStreamExperiment(one).min();
+
+    std::printf("\ninfrastructure (FPGA + links): %7.0f ns\n", infra);
+    std::printf("inside the cube:               %7.0f ns\n",
+                min_rtt - infra);
+    std::printf("minimum round trip:            %7.0f ns\n\n", min_rtt);
+
+    // Now inflate it with load.
+    std::printf("Queueing under load (random %llu B reads, 16 "
+                "vaults):\n\n",
+                static_cast<unsigned long long>(size));
+    TextTable load({"Load", "Avg latency ns", "x minimum"});
+    StreamExperimentConfig burst;
+    burst.requestSize = size;
+    burst.repetitions = 32;
+    burst.requestsPerStream = 28;
+    const double low = runStreamExperiment(burst).mean();
+    load.addRow({"28-read burst, one port", strfmt("%.0f", low),
+                 strfmt("%.1fx", low / min_rtt)});
+
+    ExperimentConfig high;
+    high.requestSize = size;
+    const MeasurementResult m = runExperiment(high);
+    load.addRow({"full-scale GUPS (9 ports x 64 tags)",
+                 strfmt("%.0f", m.readLatencyNs.mean()),
+                 strfmt("%.1fx", m.readLatencyNs.mean() / min_rtt)});
+    load.print();
+
+    std::printf("\nAt full load the 576 outstanding reads queue behind "
+                "one another: latency is Little's law (576 / %.0f "
+                "MRPS = %.0f ns), not DRAM time.\n",
+                m.readMrps, 576.0 / m.readMrps * 1000.0);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quickstart: build the AC-510 + HMC system, run a full-scale GUPS
+ * read-only workload across the whole cube, and print the headline
+ * numbers (bandwidth, request rate, latency, power, temperature).
+ */
+
+#include <cstdio>
+
+#include "host/experiment.hh"
+
+using namespace hmcsim;
+
+int
+main()
+{
+    // 1. Describe the experiment: 9 GUPS ports issuing random 128 B
+    //    reads over all 16 vaults (the paper's most distributed
+    //    pattern), measured for 1 ms of simulated time.
+    ExperimentConfig cfg;
+    cfg.mix = RequestMix::ReadOnly;
+    cfg.requestSize = 128;
+    cfg.numPorts = maxGupsPorts;
+
+    // 2. Run it under the strongest cooling configuration (Cfg1).
+    const ThermalExperimentResult r =
+        runThermalExperiment(cfg, coolingConfig(1));
+
+    // 3. Report.
+    const MeasurementResult &m = r.measurement;
+    std::printf("workload          : %s, %s, %llu B requests\n",
+                m.patternName.c_str(), requestMixName(m.mix),
+                static_cast<unsigned long long>(m.requestSize));
+    std::printf("raw bandwidth     : %.1f GB/s\n", m.rawGBps);
+    std::printf("request rate      : %.0f MRPS\n", m.mrps);
+    std::printf("read latency      : avg %.0f ns (min %.0f, max %.0f)\n",
+                m.readLatencyNs.mean(), m.readLatencyNs.min(),
+                m.readLatencyNs.max());
+    std::printf("HMC dynamic power : %.2f W\n",
+                r.powerThermal.hmcDynamicW);
+    std::printf("system power      : %.1f W\n", r.powerThermal.systemW);
+    std::printf("HMC temperature   : %.1f C (%s)\n",
+                r.powerThermal.temperatureC,
+                r.powerThermal.failure ? "THERMAL FAILURE" : "ok");
+    return 0;
+}

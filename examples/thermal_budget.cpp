@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PIM thermal-budget study: how much bandwidth can a workload sustain
+ * in each cooling environment before the cube hits its reliability
+ * bound?
+ *
+ * This is the design question behind the paper's Sec. IV-C: a
+ * processing-in-memory deployment raises ambient heat, and sustained
+ * operation can push the HMC past 85 C (reads) or ~75 C (writes),
+ * shutting it down and losing its contents. For each Table III
+ * cooling configuration and request mix, we search the access-pattern
+ * axis for the highest-bandwidth workload that still runs, and report
+ * the resulting thermal headroom.
+ */
+
+#include <cstdio>
+
+#include "analysis/table.hh"
+#include "host/experiment.hh"
+
+using namespace hmcsim;
+
+namespace
+{
+
+struct MixInfo
+{
+    RequestMix mix;
+    const char *label;
+};
+
+constexpr MixInfo mixes[] = {
+    {RequestMix::ReadOnly, "read-only"},
+    {RequestMix::WriteOnly, "write-only"},
+    {RequestMix::ReadModifyWrite, "read-modify-write"},
+};
+
+} // namespace
+
+int
+main()
+{
+    const AddressMapper mapper(HmcConfig::gen2_4GB(),
+                               MaxBlockSize::B128);
+    const auto axis = paperPatternAxis(mapper);
+    const PowerModel power;
+
+    std::printf("Sustainable bandwidth per cooling environment "
+                "(reliability bounds: 85 C reads, 75 C writes)\n\n");
+    TextTable table({"Cooling", "Mix", "Safe BW GB/s", "Temp C",
+                     "Headroom C", "Throttled?"});
+
+    for (unsigned c = 1; c <= 4; ++c) {
+        const CoolingConfig &cooling = coolingConfig(c);
+        for (const MixInfo &mi : mixes) {
+            // Walk from the most to the least distributed pattern and
+            // keep the fastest workload that stays under the bound.
+            double safe_bw = 0.0;
+            double safe_temp = cooling.idleTemperatureC;
+            bool throttled = false;
+            for (const AccessPattern &p : axis) {
+                ExperimentConfig cfg;
+                cfg.pattern = p;
+                cfg.mix = mi.mix;
+                cfg.measure = 300 * tickUs;
+                const MeasurementResult m = runExperiment(cfg);
+                const PowerThermalResult pt =
+                    power.solve(m.traffic(), mi.mix, cooling);
+                if (!pt.failure) {
+                    safe_bw = m.rawGBps;
+                    safe_temp = pt.temperatureC;
+                    break;
+                }
+                throttled = true;
+            }
+            const double limit =
+                ThermalModel::temperatureLimit(mi.mix);
+            table.addRow({cooling.name, mi.label,
+                          strfmt("%.1f", safe_bw),
+                          strfmt("%.1f", safe_temp),
+                          strfmt("%.1f", limit - safe_temp),
+                          throttled ? "yes" : "no"});
+        }
+    }
+    table.print();
+
+    std::printf("\nReading the table: where \"Throttled?\" is yes, the "
+                "full-bandwidth workload exceeded the bound and the "
+                "deployment must either restrict its access pattern "
+                "or buy the next cooling tier (see "
+                "bench_fig12_cooling_power for the W-per-GB/s "
+                "trade).\n");
+    return 0;
+}

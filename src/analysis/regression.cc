@@ -1,0 +1,66 @@
+#include "analysis/regression.hh"
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("linearFit: mismatched sample sizes");
+    LinearFit fit;
+    fit.n = xs.size();
+    if (fit.n < 2)
+        return fit;
+
+    const auto n = static_cast<double>(fit.n);
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        return fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot > 0.0) {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < fit.n; ++i) {
+            const double e = ys[i] - fit.at(xs[i]);
+            ss_res += e * e;
+        }
+        fit.r2 = 1.0 - ss_res / ss_tot;
+    }
+    return fit;
+}
+
+double
+littlesLawOccupancy(double latency_us, double rate_mrps)
+{
+    // (us) * (requests/us) = requests.
+    return latency_us * rate_mrps;
+}
+
+std::size_t
+saturationKnee(const std::vector<LatencyBandwidthPoint> &curve,
+               double factor)
+{
+    if (curve.empty())
+        return 0;
+    const double base = curve.front().latencyUs;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (curve[i].latencyUs > base * factor)
+            return i;
+    }
+    return curve.size() - 1;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analysis helpers shared by benches: least-squares regression
+ * (Figs. 11, 12), Little's-law occupancy (Fig. 17), and saturation-
+ * knee detection for latency/bandwidth curves (Figs. 17, 18).
+ */
+
+#ifndef HMCSIM_ANALYSIS_REGRESSION_HH
+#define HMCSIM_ANALYSIS_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace hmcsim
+{
+
+/** y = slope * x + intercept, with goodness of fit. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+    std::size_t n = 0;
+
+    double
+    at(double x) const
+    {
+        return slope * x + intercept;
+    }
+};
+
+/** Ordinary least squares over paired samples. */
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Little's law: average occupancy of a black-box server given the
+ * time spent inside (us) and the throughput (million requests/s).
+ * The paper applies this to the vault controller at the latency
+ * saturation point (Sec. IV-E4).
+ */
+double littlesLawOccupancy(double latency_us, double rate_mrps);
+
+/** One point of a latency-vs-bandwidth curve. */
+struct LatencyBandwidthPoint
+{
+    double bandwidthGBps;
+    double latencyUs;
+};
+
+/**
+ * Find the saturation knee of a latency/bandwidth curve: the first
+ * point whose latency exceeds @p factor times the lowest-load
+ * latency. Returns the index of that point, or the last index when
+ * the curve never saturates.
+ */
+std::size_t saturationKnee(const std::vector<LatencyBandwidthPoint> &curve,
+                           double factor = 2.0);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_ANALYSIS_REGRESSION_HH

@@ -1,0 +1,123 @@
+#include "analysis/table.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers.size())
+        fatal("TextTable row arity %zu != header arity %zu",
+              cells.size(), headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << quote(row[c]);
+            if (c + 1 < row.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+
+    const char *dir = std::getenv("HMCSIM_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    static int sequence = 0;
+    std::string program = "table";
+#ifdef __GLIBC__
+    if (program_invocation_short_name)
+        program = program_invocation_short_name;
+#endif
+    const std::string path = std::string(dir) + "/" + program + "_" +
+                             std::to_string(++sequence) + ".csv";
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fputs(renderCsv().c_str(), f);
+        std::fclose(f);
+    } else {
+        warn("cannot write CSV export %s", path.c_str());
+    }
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+} // namespace hmcsim

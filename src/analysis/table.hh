@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table formatter used by the benches and
+ * examples to print paper-style rows and series.
+ */
+
+#ifndef HMCSIM_ANALYSIS_TABLE_HH
+#define HMCSIM_ANALYSIS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hmcsim
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Define the header row. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row (must match the header arity). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Render as CSV (header row + data rows, comma-separated with
+     *  minimal quoting). */
+    std::string renderCsv() const;
+
+    /**
+     * Render and write to stdout. When the HMCSIM_CSV_DIR environment
+     * variable is set, also export the table as
+     * `<dir>/<program>_<n>.csv` (n counts tables printed by this
+     * process), so every bench's series can be re-plotted without
+     * touching the bench.
+     */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** printf-style helper returning std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hmcsim
+
+#endif // HMCSIM_ANALYSIS_TABLE_HH

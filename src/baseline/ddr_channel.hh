@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Baseline DDR4-like DIMM channel.
+ *
+ * The paper repeatedly contrasts HMC's closed-page, low-order-
+ * interleaved organization against conventional JEDEC DIMMs: open
+ * page policy, large rows, row-buffer locality, and a single shared
+ * synchronous bus (Secs. I, II-C, IV-D). This module implements that
+ * conventional organization so the contrast is measurable: linear
+ * traffic enjoys row hits on DDR but gains nothing on HMC.
+ */
+
+#ifndef HMCSIM_BASELINE_DDR_CHANNEL_HH
+#define HMCSIM_BASELINE_DDR_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/bank.hh"
+#include "dram/timings.hh"
+#include "link/link.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Configuration of the baseline channel. */
+struct DdrChannelConfig
+{
+    unsigned numBanks = 16;
+    DramTimings timings = ddr4Timings();
+    PagePolicy policy = PagePolicy::Open;
+    /** Shared channel data bus (DDR4-2400 x64: 19.2 GB/s). */
+    double busBytesPerSecond = 19.2e9;
+    /** Controller + PHY fixed latency per access. */
+    Tick fixedLatency = nsToTicks(20.0);
+    /** Channel capacity. */
+    Bytes capacity = 4 * gib;
+    /** Four-activate window: at most @ref activatesPerFaw row
+     *  activations per tFAW across the whole rank. This is what
+     *  keeps random (row-missing) DDR traffic well under the bus
+     *  peak on real DIMMs. */
+    Tick tFaw = nsToTicks(30.0);
+    unsigned activatesPerFaw = 4;
+};
+
+/** Channel statistics. */
+struct DdrChannelStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t rowHits = 0;
+    Bytes payloadBytes = 0;
+};
+
+/**
+ * Analytic DDR channel: row-interleaved mapping (consecutive
+ * addresses fill a row, then move to the next bank).
+ */
+class DdrChannel
+{
+  public:
+    explicit DdrChannel(const DdrChannelConfig &cfg);
+
+    /**
+     * Service one access.
+     * @param addr Byte address.
+     * @param bytes Access size.
+     * @param is_write Write accesses pay write recovery.
+     * @param arrival Earliest start time.
+     * @return Completion time (data fully transferred).
+     */
+    Tick access(Addr addr, Bytes bytes, bool is_write, Tick arrival);
+
+    /** Row-buffer hit rate over all accesses so far. */
+    double rowHitRate() const;
+
+    const DdrChannelStats &stats() const { return _stats; }
+    const DdrChannelConfig &config() const { return cfg; }
+
+    void reset();
+
+  private:
+    DdrChannelConfig cfg;
+    std::vector<Bank> banks;
+    ThroughputRegulator bus;
+    /** Rate limiter standing in for the tFAW rolling window. */
+    ThroughputRegulator activates;
+    DdrChannelStats _stats;
+};
+
+/** Outcome of a baseline sweep (see measureDdrPattern). */
+struct DdrMeasurement
+{
+    double avgLatencyNs;
+    double gbps;
+    double rowHitRate;
+};
+
+/**
+ * Drive the channel with a simple closed-loop of @p outstanding
+ * requests (linear or random addressing) and measure sustained
+ * bandwidth and average latency.
+ */
+DdrMeasurement measureDdrPattern(const DdrChannelConfig &cfg,
+                                 bool linear, Bytes request_size,
+                                 unsigned outstanding,
+                                 unsigned num_requests,
+                                 std::uint64_t seed = 1);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_BASELINE_DDR_CHANNEL_HH

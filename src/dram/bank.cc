@@ -1,0 +1,80 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+namespace hmcsim
+{
+
+BankAccessResult
+Bank::access(const DramTimings &t, PagePolicy policy, Tick ready,
+             std::uint32_t row, Bytes bytes, bool is_write)
+{
+    const Tick start = std::max(ready, busyUntil);
+    const Tick transfer = t.tBeat * t.beats(bytes);
+
+    Tick data_ready = 0;
+    Tick bank_free = 0;
+    bool hit = false;
+
+    if (policy == PagePolicy::Closed) {
+        // ACT -> RD/WR -> data -> PRE. The activate sequence must also
+        // respect tRAS before the precharge may start.
+        const Tick column_done = start + t.tRcd + t.tCl + transfer;
+        data_ready = start + t.tRcd + t.tCl;
+        Tick pre_start = column_done;
+        if (is_write)
+            pre_start += t.tWr;
+        pre_start = std::max(pre_start, start + t.tRas);
+        bank_free = pre_start + t.tRp;
+    } else {
+        hit = rowOpen && openRow == row;
+        Tick act_done;
+        if (hit) {
+            act_done = start; // Row already open: column access only.
+        } else if (rowOpen) {
+            // Conflict: precharge the old row, then activate.
+            act_done = start + t.tRp + t.tRcd;
+        } else {
+            act_done = start + t.tRcd;
+        }
+        data_ready = act_done + t.tCl;
+        // Column commands pipeline: the bank accepts the next command
+        // after tCCD (or once the data burst is off the bus); tCL is
+        // latency, not occupancy.
+        bank_free = act_done + std::max(t.tCcd, transfer);
+        if (is_write)
+            bank_free += t.tWr;
+        rowOpen = true;
+        openRow = row;
+    }
+
+    ++numAccesses;
+    if (hit)
+        ++numRowHits;
+    _busyTime += bank_free - start;
+    busyUntil = bank_free;
+    return {data_ready, bank_free, hit};
+}
+
+Tick
+Bank::refresh(const DramTimings &t, Tick ready)
+{
+    const Tick start = std::max(ready, busyUntil);
+    busyUntil = start + t.tRfc;
+    _busyTime += t.tRfc;
+    rowOpen = false;
+    return busyUntil;
+}
+
+void
+Bank::reset()
+{
+    busyUntil = 0;
+    rowOpen = false;
+    openRow = 0;
+    numAccesses = 0;
+    numRowHits = 0;
+    _busyTime = 0;
+}
+
+} // namespace hmcsim

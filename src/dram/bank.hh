@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A single DRAM bank modeled as a busy-until resource with row state.
+ *
+ * The bank serializes its own accesses (one row cycle at a time) but
+ * different banks of a vault overlap freely -- that overlap is the
+ * bank-level parallelism (BLP) the paper's access patterns probe.
+ */
+
+#ifndef HMCSIM_DRAM_BANK_HH
+#define HMCSIM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "dram/timings.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Outcome of one bank access. */
+struct BankAccessResult
+{
+    /** When the first data beat is available on the vault bus. */
+    Tick dataReady;
+    /** When the bank can accept its next access. */
+    Tick bankFree;
+    /** Whether the access hit an open row (open-page policy only). */
+    bool rowHit;
+};
+
+/** DRAM bank state machine. */
+class Bank
+{
+  public:
+    Bank() = default;
+
+    /**
+     * Perform an access.
+     *
+     * Closed page: every access activates, transfers, precharges.
+     * Open page: a row hit skips activate and the row stays open; a
+     * miss precharges the old row first.
+     *
+     * @param t Timing parameters.
+     * @param policy Row-buffer policy.
+     * @param ready Earliest time the command can start at the bank.
+     * @param row Target row index.
+     * @param bytes Access size (for data-transfer beats).
+     * @param is_write Writes pay write-recovery before precharge.
+     * @return Data-ready and bank-free times.
+     */
+    BankAccessResult access(const DramTimings &t, PagePolicy policy,
+                            Tick ready, std::uint32_t row, Bytes bytes,
+                            bool is_write);
+
+    /** Block the bank for a refresh cycle starting no earlier than
+     *  @p ready; any open row is closed. */
+    Tick refresh(const DramTimings &t, Tick ready);
+
+    /** Would an access to @p row hit the open row buffer? Always
+     *  false under the closed-page policy. */
+    bool
+    wouldHit(PagePolicy policy, std::uint32_t row) const
+    {
+        return policy == PagePolicy::Open && rowOpen && openRow == row;
+    }
+
+    /** Statistics: accesses serviced. */
+    std::uint64_t accesses() const { return numAccesses; }
+    /** Statistics: open-page row hits. */
+    std::uint64_t rowHits() const { return numRowHits; }
+    /** Busy time accumulated, for utilization. */
+    Tick busyTime() const { return _busyTime; }
+
+    void reset();
+
+  private:
+    Tick busyUntil = 0;
+    bool rowOpen = false;
+    std::uint32_t openRow = 0;
+    std::uint64_t numAccesses = 0;
+    std::uint64_t numRowHits = 0;
+    Tick _busyTime = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_DRAM_BANK_HH

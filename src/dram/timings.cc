@@ -1,0 +1,44 @@
+#include "dram/timings.hh"
+
+namespace hmcsim
+{
+
+const char *
+pagePolicyName(PagePolicy policy)
+{
+    return policy == PagePolicy::Closed ? "closed-page" : "open-page";
+}
+
+DramTimings
+hmcGen2Timings()
+{
+    DramTimings t;
+    t.tRcd = nsToTicks(13.0);
+    t.tCl = nsToTicks(13.0);
+    t.tRp = nsToTicks(13.0);
+    t.tRas = nsToTicks(27.0);
+    t.tWr = nsToTicks(14.0);
+    // Vault TSV data bus: 32 B granularity at 10 GB/s -> 3.2 ns/beat.
+    t.tBeat = nsToTicks(3.2);
+    t.beatBytes = 32;
+    t.rowBytes = 256;
+    return t;
+}
+
+DramTimings
+ddr4Timings()
+{
+    DramTimings t;
+    t.tRcd = nsToTicks(13.75);
+    t.tCl = nsToTicks(13.75);
+    t.tRp = nsToTicks(13.75);
+    t.tRas = nsToTicks(32.0);
+    t.tWr = nsToTicks(15.0);
+    // DDR4-2400 x64 channel: 32 B move in a BL4 chunk ~ 1.67 ns.
+    t.tBeat = nsToTicks(1.67);
+    t.beatBytes = 32;
+    t.rowBytes = 1024;
+    return t;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRAM timing parameters for the dies stacked inside an HMC.
+ *
+ * HMC DRAM arrays behave like conventional DRAM banks with a 256 B row
+ * and a 32 B data-bus granularity per vault (Sec. II-C). Under the
+ * closed-page policy every access pays the full activate/column/
+ * precharge sequence; the paper's vault-level numbers (one bank
+ * sustains a few GB/s, a vault saturates between 4 and 8 banks) follow
+ * from a ~45 ns row cycle.
+ */
+
+#ifndef HMCSIM_DRAM_TIMINGS_HH
+#define HMCSIM_DRAM_TIMINGS_HH
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    Closed, ///< Precharge after every access (HMC default, Sec. II-C).
+    Open,   ///< Leave the row open; hits skip activate+precharge.
+};
+
+const char *pagePolicyName(PagePolicy policy);
+
+/** Timing parameters, all in ticks (ps). */
+struct DramTimings
+{
+    Tick tRcd = nsToTicks(13.0);  ///< Activate to column command.
+    Tick tCl = nsToTicks(13.0);   ///< Column command to first data.
+    Tick tRp = nsToTicks(13.0);   ///< Precharge time.
+    Tick tRas = nsToTicks(27.0);  ///< Activate to precharge minimum.
+    Tick tWr = nsToTicks(14.0);   ///< Write recovery before precharge.
+    Tick tCcd = nsToTicks(5.0);   ///< Column-to-column command spacing.
+    /** Time to move one 32 B beat over the vault TSV data bus. */
+    Tick tBeat = nsToTicks(1.6);
+    /** Beat granularity of the vault data bus. */
+    Bytes beatBytes = 32;
+    /** DRAM row (page) size: 256 B in HMC vs 512-2048 B in DDR4. */
+    Bytes rowBytes = 256;
+    /** Refresh interval per bank (tREFI-equivalent). */
+    Tick tRefi = nsToTicks(7800.0);
+    /** Refresh cycle time. */
+    Tick tRfc = nsToTicks(160.0);
+
+    /** Number of data-bus beats a @p bytes access needs. */
+    unsigned
+    beats(Bytes bytes) const
+    {
+        return static_cast<unsigned>((bytes + beatBytes - 1) / beatBytes);
+    }
+
+    /**
+     * Row cycle time: minimum spacing of two activates to the same
+     * bank (max of tRAS and the command sequence) plus precharge.
+     */
+    Tick
+    rowCycle() const
+    {
+        const Tick sequence = tRcd + tCl;
+        return (sequence > tRas ? sequence : tRas) + tRp;
+    }
+};
+
+/** HMC 1.1 (Gen2) die timings used throughout the reproduction. */
+DramTimings hmcGen2Timings();
+
+/**
+ * DDR4-2400-like timings for the baseline DIMM comparison: larger
+ * rows, similar core latencies, faster burst transfers.
+ */
+DramTimings ddr4Timings();
+
+} // namespace hmcsim
+
+#endif // HMCSIM_DRAM_TIMINGS_HH

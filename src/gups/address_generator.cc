@@ -1,0 +1,55 @@
+#include "gups/address_generator.hh"
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+const char *
+addressingModeName(AddressingMode mode)
+{
+    return mode == AddressingMode::Random ? "random" : "linear";
+}
+
+AddressGenerator::AddressGenerator(const AddressGeneratorConfig &cfg,
+                                   std::uint64_t seed)
+    : cfg(cfg), rng(seed),
+      linearCursor(cfg.linearStart % (cfg.capacity ? cfg.capacity : 1))
+{
+    // HMC payloads are 1..8 flits: any multiple of 16 B up to 128 B.
+    if (cfg.requestSize == 0 || cfg.requestSize % 16 != 0)
+        fatal("request size must be a non-zero multiple of 16 B");
+    // When the capacity is not a multiple of the request size, the
+    // linear sequence wraps before an access would cross the limit.
+}
+
+Addr
+AddressGenerator::alignment() const
+{
+    // Requests should start on 32 B boundaries to use the vault data
+    // bus efficiently (Sec. II-C); sizes that are not a multiple of
+    // 32 B can only be held to 16 B boundaries.
+    return cfg.requestSize % 32 == 0 ? 32 : 16;
+}
+
+Addr
+AddressGenerator::next()
+{
+    const Addr align = alignment();
+    Addr addr;
+    if (cfg.mode == AddressingMode::Random) {
+        addr = rng.nextBounded(cfg.capacity / align) * align;
+    } else {
+        addr = linearCursor;
+        linearCursor += cfg.requestSize;
+        if (linearCursor + cfg.requestSize > cfg.capacity)
+            linearCursor = 0;
+    }
+    // Force bits to zero/one per the mask registers, then re-align so
+    // the anti-mask cannot produce an unaligned access.
+    addr = (addr & ~cfg.mask) | cfg.antiMask;
+    addr &= ~(align - 1);
+    return addr;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GUPS address generator (Fig. 4b, "Add. Gen.").
+ *
+ * Each GUPS port generates linear or random addresses and can force
+ * address bits to zero (mask) or one (anti-mask), which is how the
+ * paper steers traffic at specific quadrants, vaults, and banks
+ * (Sec. III-B, Sec. IV-A).
+ */
+
+#ifndef HMCSIM_GUPS_ADDRESS_GENERATOR_HH
+#define HMCSIM_GUPS_ADDRESS_GENERATOR_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Addressing mode of a port. */
+enum class AddressingMode : std::uint8_t
+{
+    Random, ///< Uniform random over the (masked) address space.
+    Linear, ///< Sequential, striding by the request size.
+};
+
+const char *addressingModeName(AddressingMode mode);
+
+/** Generator configuration. */
+struct AddressGeneratorConfig
+{
+    AddressingMode mode = AddressingMode::Random;
+    /** Request size; addresses align to this boundary. */
+    Bytes requestSize = 128;
+    /** Device capacity (wraps the linear sequence). */
+    Bytes capacity = 4 * gib;
+    /** Bits forced to zero. */
+    Addr mask = 0;
+    /** Bits forced to one. */
+    Addr antiMask = 0;
+    /**
+     * Starting address of the linear sequence. The nine GUPS ports
+     * stream from staggered regions so linear full-scale traffic
+     * keeps several banks busy at once.
+     */
+    Addr linearStart = 0;
+};
+
+/** Produces the address stream for one port. */
+class AddressGenerator
+{
+  public:
+    AddressGenerator(const AddressGeneratorConfig &cfg,
+                     std::uint64_t seed);
+
+    /** Next address in the stream (aligned, masked). */
+    Addr next();
+
+    /** Alignment the generator holds addresses to (16 or 32 B). */
+    Addr alignment() const;
+
+    const AddressGeneratorConfig &config() const { return cfg; }
+
+  private:
+    AddressGeneratorConfig cfg;
+    Xoshiro256StarStar rng;
+    Addr linearCursor = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_GUPS_ADDRESS_GENERATOR_HH

@@ -1,0 +1,221 @@
+#include "gups/gups_port.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+GupsPort::GupsPort(unsigned id, const GupsPortConfig &cfg, Bytes capacity,
+                   EventQueue &queue, SubmitFn submit, std::uint64_t seed)
+    : portId(id),
+      cfg(cfg),
+      queue(queue),
+      submit(std::move(submit)),
+      addrGen(
+          AddressGeneratorConfig{
+              cfg.mode,
+              cfg.requestSize,
+              capacity,
+              cfg.mask,
+              cfg.antiMask,
+              // Stagger linear streams: each port works a different
+              // region, 4 KB aligned, like independent array slices.
+              cfg.staggerLinearStarts
+                  ? (capacity / gupsPortCount) * id & ~Addr(4095)
+                  : 0,
+          },
+          seed * 0x9E3779B97F4A7C15ULL + id + 1),
+      tags(cfg.tagPoolDepth),
+      writeCredits(cfg.writeCreditDepth),
+      // Distinct id space per port so packet ids never collide.
+      nextPacketId(static_cast<std::uint64_t>(id) << 48)
+{
+}
+
+void
+GupsPort::start()
+{
+    running = true;
+    scheduleIssue();
+}
+
+void
+GupsPort::stop()
+{
+    running = false;
+}
+
+Packet
+GupsPort::makePacket(Command cmd, Addr addr)
+{
+    Packet pkt;
+    pkt.id = nextPacketId++;
+    pkt.cmd = cmd;
+    pkt.addr = addr;
+    pkt.payload = cfg.requestSize;
+    pkt.port = static_cast<std::uint8_t>(portId);
+    // On the AC-510's two links, ports 0-4 feed link 0 and 5-8 link 1
+    // (five TX_ports per hmc_node, Fig. 14); with more links, ports
+    // spread round-robin.
+    if (cfg.numLinks == 2) {
+        pkt.link = portId < 5 ? 0 : 1;
+    } else {
+        pkt.link = static_cast<std::uint8_t>(
+            portId % (cfg.numLinks ? cfg.numLinks : 1));
+    }
+    pkt.tIssued = queue.now();
+    return pkt;
+}
+
+void
+GupsPort::scheduleIssue()
+{
+    // A stopped port generates nothing new, but dependent rw writes
+    // whose reads already returned must still retire.
+    if (issuePending || (!running && pendingRmwWrites.empty()))
+        return;
+    issuePending = true;
+    const Tick now = queue.now();
+    const Tick when = nextIssueAllowed > now ? nextIssueAllowed : now;
+    queue.schedule(when, [this] { issueOne(); });
+}
+
+void
+GupsPort::issueOne()
+{
+    issuePending = false;
+    if (!running && pendingRmwWrites.empty())
+        return;
+
+    bool issued = false;
+
+    // Arbitration: dependent rw writes go first (the hardware must
+    // retire them to free the write FIFO), then fresh operations.
+    if (!pendingRmwWrites.empty() && writeCredits > 0) {
+        const Addr addr = pendingRmwWrites.front();
+        pendingRmwWrites.pop_front();
+        --writeCredits;
+        ++outstandingWrites;
+        ++_stats.writesIssued;
+        Packet pkt = makePacket(Command::Write, addr);
+        submit(std::move(pkt));
+        issued = true;
+    } else if (running && !budgetExhausted()) {
+        switch (cfg.mix) {
+          case RequestMix::ReadOnly:
+          case RequestMix::ReadModifyWrite:
+            if (tags.available()) {
+                Packet pkt = makePacket(Command::Read, addrGen.next());
+                pkt.tag = tags.allocate();
+                ++outstandingReads;
+                ++_stats.readsIssued;
+                ++generatedOps;
+                submit(std::move(pkt));
+                issued = true;
+            }
+            break;
+          case RequestMix::WriteOnly:
+            if (writeCredits > 0) {
+                --writeCredits;
+                ++outstandingWrites;
+                ++_stats.writesIssued;
+                ++generatedOps;
+                Packet pkt = makePacket(Command::Write, addrGen.next());
+                submit(std::move(pkt));
+                issued = true;
+            }
+            break;
+          case RequestMix::Atomic:
+            if (tags.available()) {
+                Packet pkt = makePacket(Command::Atomic, addrGen.next());
+                // Atomic requests carry a 16 B immediate operand; the
+                // update happens in the vault controller.
+                pkt.payload = 16;
+                pkt.tag = tags.allocate();
+                ++outstandingReads;
+                ++_stats.readsIssued;
+                ++generatedOps;
+                submit(std::move(pkt));
+                issued = true;
+            }
+            break;
+        }
+    }
+
+    if (issued) {
+        nextIssueAllowed = queue.now() + cfg.issueInterval;
+        // Keep the pipeline full: try again next cycle. If nothing can
+        // issue then, the port goes quiet until a response arrives.
+        scheduleIssue();
+    }
+    // Not issued: wait for onResponse() to wake us.
+}
+
+void
+GupsPort::registerStats(StatRegistry &registry,
+                        const StatPath &path) const
+{
+    registry.addValue((path / "reads_issued").str(),
+                      "tagged requests issued", &_stats.readsIssued);
+    registry.addValue((path / "writes_issued").str(),
+                      "write requests issued", &_stats.writesIssued);
+    registry.addValue((path / "reads_completed").str(),
+                      "tagged responses received",
+                      &_stats.readsCompleted);
+    registry.addValue((path / "writes_completed").str(),
+                      "write responses received",
+                      &_stats.writesCompleted);
+    registry.addValue((path / "raw_bytes").str(),
+                      "raw link bytes of completed transactions",
+                      &_stats.rawBytes);
+    registry.add((path / "read_latency_avg_ns").str(),
+                 "mean tagged-request round trip",
+                 [this] { return _stats.readLatencyNs.mean(); });
+    registry.add((path / "read_latency_max_ns").str(),
+                 "max tagged-request round trip",
+                 [this] { return _stats.readLatencyNs.max(); });
+    registry.addValue((path / "thermal_failures").str(),
+                      "responses flagging thermal shutdown",
+                      &_stats.thermalFailures);
+}
+
+void
+GupsPort::onResponse(const Packet &pkt)
+{
+    const double latency_ns =
+        ticksToNs(queue.now() - pkt.tIssued);
+
+    if (pkt.thermalFailure)
+        ++_stats.thermalFailures;
+
+    switch (pkt.cmd) {
+      case Command::Read:
+      case Command::Atomic:
+        HMCSIM_ASSERT(outstandingReads > 0, "stray read response");
+        --outstandingReads;
+        tags.release(pkt.tag);
+        ++_stats.readsCompleted;
+        _stats.readLatencyNs.sample(latency_ns);
+        _stats.readLatencyHistNs.sample(latency_ns);
+        _stats.rawBytes += transactionBytes(pkt.cmd, pkt.payload);
+        _stats.readPayloadBytes += pkt.payload;
+        if (cfg.mix == RequestMix::ReadModifyWrite)
+            pendingRmwWrites.push_back(pkt.addr);
+        break;
+      case Command::Write:
+        HMCSIM_ASSERT(outstandingWrites > 0, "stray write response");
+        --outstandingWrites;
+        ++writeCredits;
+        ++_stats.writesCompleted;
+        _stats.writeLatencyNs.sample(latency_ns);
+        _stats.rawBytes += transactionBytes(pkt.cmd, pkt.payload);
+        _stats.writePayloadBytes += pkt.payload;
+        break;
+    }
+
+    scheduleIssue();
+}
+
+} // namespace hmcsim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * One GUPS port (Fig. 4b): address generator, read tag pool, write
+ * request FIFO credits, arbitration between pending request kinds,
+ * and the monitoring unit that measures read latencies.
+ *
+ * The FPGA runs GUPS at 187.5 MHz and instantiates nine ports to
+ * saturate the HMC links; each port can issue at most one request per
+ * cycle and at most 64 outstanding reads (the tag pool). Those two
+ * structural limits, not the model's plumbing, bound the offered load
+ * exactly as in the hardware.
+ */
+
+#ifndef HMCSIM_GUPS_GUPS_PORT_HH
+#define HMCSIM_GUPS_GUPS_PORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "gups/address_generator.hh"
+#include "protocol/packet.hh"
+#include "protocol/tag_pool.hh"
+#include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** GUPS ports instantiated on the FPGA (one of ten is reserved). */
+constexpr unsigned gupsPortCount = 9;
+
+/** Configuration of one port. */
+struct GupsPortConfig
+{
+    RequestMix mix = RequestMix::ReadOnly;
+    Bytes requestSize = 128;
+    AddressingMode mode = AddressingMode::Random;
+    Addr mask = 0;
+    Addr antiMask = 0;
+    /** Outstanding-read limit ("Rd. Tag Pool", depth 64). */
+    unsigned tagPoolDepth = 64;
+    /** Outstanding-write limit ("Wr. Req. FIFO"). */
+    unsigned writeCreditDepth = 64;
+    /** Minimum spacing between issues: one 187.5 MHz cycle. */
+    Tick issueInterval = 5333;
+    /**
+     * Stop after this many generated operations (reads; in rw mode
+     * each read also produces one write). 0 = unbounded. Stream GUPS
+     * uses this to send fixed-size request groups.
+     */
+    std::uint64_t requestBudget = 0;
+    /**
+     * Stagger each port's linear stream into a distinct region (the
+     * default: nine independent array slices). Disable to model all
+     * ports walking one shared array front-to-back.
+     */
+    bool staggerLinearStarts = true;
+    /** External links the port's requests are distributed over. */
+    unsigned numLinks = 2;
+};
+
+/** Counters exposed by a port's monitoring unit. */
+struct GupsPortStats
+{
+    std::uint64_t readsIssued = 0;
+    std::uint64_t writesIssued = 0;
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t writesCompleted = 0;
+    /** Raw link bytes of completed transactions (req+resp packets). */
+    Bytes rawBytes = 0;
+    Bytes readPayloadBytes = 0;
+    Bytes writePayloadBytes = 0;
+    /** Read round-trip latencies in nanoseconds. */
+    SampleStats readLatencyNs;
+    /** Write round-trip latencies in nanoseconds. */
+    SampleStats writeLatencyNs;
+    /** Read-latency distribution for percentile reporting
+     *  (100 ns bins up to 100 us; beyond lands in overflow). */
+    Histogram readLatencyHistNs{0.0, 100000.0, 1000};
+    /** Responses carrying the thermal-failure flag. */
+    std::uint64_t thermalFailures = 0;
+};
+
+/** A single traffic-generator port. */
+class GupsPort
+{
+  public:
+    /** Sink a port submits requests into (the HMC controller). */
+    using SubmitFn = std::function<void(Packet &&)>;
+
+    /**
+     * @param id Port index (0..8 on the AC-510).
+     * @param cfg Port configuration.
+     * @param capacity Cube capacity for address generation.
+     * @param queue Shared event queue.
+     * @param submit Request sink.
+     * @param seed Experiment seed (port id is mixed in).
+     */
+    GupsPort(unsigned id, const GupsPortConfig &cfg, Bytes capacity,
+             EventQueue &queue, SubmitFn submit, std::uint64_t seed);
+
+    /** Begin issuing requests. */
+    void start();
+
+    /** Stop issuing new requests (outstanding ones still drain). */
+    void stop();
+
+    /** Deliver a response to this port. */
+    void onResponse(const Packet &pkt);
+
+    /** True when no requests are outstanding. */
+    bool
+    idle() const
+    {
+        return outstandingReads == 0 && outstandingWrites == 0 &&
+               pendingRmwWrites.empty();
+    }
+
+    /** True when the request budget (if any) has been exhausted. */
+    bool
+    budgetExhausted() const
+    {
+        return cfg.requestBudget != 0 &&
+               generatedOps >= cfg.requestBudget;
+    }
+
+    const GupsPortStats &stats() const { return _stats; }
+
+    /** Register this port's monitoring counters under @p path. */
+    void registerStats(StatRegistry &registry, const StatPath &path) const;
+    /** Clear monitoring counters (e.g. after warm-up). */
+    void resetStats() { _stats = GupsPortStats{}; }
+
+    unsigned id() const { return portId; }
+    unsigned outstanding() const
+    {
+        return outstandingReads + outstandingWrites;
+    }
+
+  private:
+    /** Arrange for issueOne() to run at the next allowed issue slot. */
+    void scheduleIssue();
+
+    /** Try to issue a single request; reschedules itself while the
+     *  port is running and has work. */
+    void issueOne();
+
+    Packet makePacket(Command cmd, Addr addr);
+
+    unsigned portId;
+    GupsPortConfig cfg;
+    EventQueue &queue;
+    SubmitFn submit;
+    AddressGenerator addrGen;
+    TagPool tags;
+    unsigned writeCredits;
+    unsigned outstandingReads = 0;
+    unsigned outstandingWrites = 0;
+    /** Writes waiting to be issued after their read returned (rw). */
+    std::deque<Addr> pendingRmwWrites;
+    bool running = false;
+    bool issuePending = false;
+    Tick nextIssueAllowed = 0;
+    std::uint64_t generatedOps = 0;
+    std::uint64_t nextPacketId;
+    GupsPortStats _stats;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_GUPS_GUPS_PORT_HH

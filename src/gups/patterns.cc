@@ -1,0 +1,110 @@
+#include "gups/patterns.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** Count reachable vaults/banks under a zero-forcing mask. */
+void
+fillSpans(const AddressMapper &mapper, AccessPattern &pattern)
+{
+    const Addr vault_field =
+        bitRangeMask(mapper.vaultShift(),
+                     mapper.vaultShift() + mapper.vaultBits() - 1);
+    const Addr bank_field =
+        bitRangeMask(mapper.bankShift(),
+                     mapper.bankShift() + mapper.bankBits() - 1);
+    const unsigned free_vault_bits =
+        mapper.vaultBits() -
+        std::popcount(pattern.mask & vault_field);
+    const unsigned free_bank_bits =
+        mapper.bankBits() - std::popcount(pattern.mask & bank_field);
+    pattern.vaultSpan = 1u << free_vault_bits;
+    pattern.bankSpan = pattern.vaultSpan * (1u << free_bank_bits);
+}
+
+unsigned
+log2Pow2(unsigned v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        fatal("%s must be a power of two (got %u)", what, v);
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+AccessPattern
+bankPattern(const AddressMapper &mapper, unsigned num_banks)
+{
+    const unsigned free_bits = log2Pow2(num_banks, "bank count");
+    if (free_bits > mapper.bankBits())
+        fatal("bank pattern larger than a vault");
+
+    AccessPattern p;
+    p.name = num_banks == 1 ? "1 bank" : std::to_string(num_banks) +
+                                             " banks";
+    // All vault-select bits to zero: stay in vault 0.
+    p.mask = bitRangeMask(mapper.vaultShift(),
+                          mapper.vaultShift() + mapper.vaultBits() - 1);
+    // Zero the bank bits above the allowed range.
+    if (free_bits < mapper.bankBits()) {
+        p.mask |= bitRangeMask(mapper.bankShift() + free_bits,
+                               mapper.bankShift() + mapper.bankBits() - 1);
+    }
+    fillSpans(mapper, p);
+    return p;
+}
+
+AccessPattern
+vaultPattern(const AddressMapper &mapper, unsigned num_vaults)
+{
+    const unsigned free_bits = log2Pow2(num_vaults, "vault count");
+    if (free_bits > mapper.vaultBits())
+        fatal("vault pattern larger than the device");
+
+    AccessPattern p;
+    p.name = num_vaults == 1 ? "1 vault" : std::to_string(num_vaults) +
+                                               " vaults";
+    if (free_bits < mapper.vaultBits()) {
+        p.mask = bitRangeMask(mapper.vaultShift() + free_bits,
+                              mapper.vaultShift() + mapper.vaultBits() - 1);
+    }
+    fillSpans(mapper, p);
+    return p;
+}
+
+std::vector<AccessPattern>
+paperPatternAxis(const AddressMapper &mapper)
+{
+    std::vector<AccessPattern> axis;
+    for (unsigned v = mapper.vaultBits() ? 1u << mapper.vaultBits() : 1;
+         v >= 2; v /= 2) {
+        axis.push_back(vaultPattern(mapper, v));
+    }
+    axis.push_back(vaultPattern(mapper, 1)); // "1 vault": all banks.
+    for (unsigned b = (1u << mapper.bankBits()) / 2; b >= 1; b /= 2)
+        axis.push_back(bankPattern(mapper, b));
+    return axis;
+}
+
+std::vector<AccessPattern>
+fig6MaskSweep(const AddressMapper &mapper)
+{
+    std::vector<AccessPattern> sweep;
+    for (unsigned lo : {24u, 10u, 7u, 3u, 2u, 1u, 0u}) {
+        AccessPattern p;
+        p.name = std::to_string(lo) + "-" + std::to_string(lo + 7);
+        p.mask = bitRangeMask(lo, lo + 7);
+        fillSpans(mapper, p);
+        sweep.push_back(p);
+    }
+    return sweep;
+}
+
+} // namespace hmcsim

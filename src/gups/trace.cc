@@ -1,0 +1,217 @@
+#include "gups/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+namespace
+{
+
+Command
+parseOp(const std::string &token, int line_no)
+{
+    if (token == "R" || token == "r")
+        return Command::Read;
+    if (token == "W" || token == "w")
+        return Command::Write;
+    if (token == "A" || token == "a")
+        return Command::Atomic;
+    fatal("trace line %d: unknown op '%s' (expected R/W/A)", line_no,
+          token.c_str());
+}
+
+} // namespace
+
+Trace
+parseTrace(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments.
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string op;
+        if (!(fields >> op))
+            continue; // blank line
+        TraceEntry entry;
+        entry.op = parseOp(op, line_no);
+        std::string addr_token;
+        if (!(fields >> addr_token))
+            fatal("trace line %d: missing address", line_no);
+        entry.addr = static_cast<Addr>(
+            std::stoull(addr_token, nullptr, 0)); // accepts 0x...
+        if (entry.op == Command::Atomic) {
+            entry.size = 16;
+        } else {
+            unsigned long long size = 0;
+            if (!(fields >> size))
+                fatal("trace line %d: missing size", line_no);
+            if (size == 0 || size % 16 != 0 || size > maxPayloadBytes)
+                fatal("trace line %d: bad size %llu", line_no, size);
+            entry.size = size;
+        }
+        trace.push_back(entry);
+    }
+    return trace;
+}
+
+Trace
+parseTraceString(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseTrace(in);
+}
+
+std::string
+formatTrace(const Trace &trace)
+{
+    std::ostringstream out;
+    for (const TraceEntry &e : trace) {
+        switch (e.op) {
+          case Command::Read:
+            out << "R 0x" << std::hex << e.addr << std::dec << ' '
+                << e.size << '\n';
+            break;
+          case Command::Write:
+            out << "W 0x" << std::hex << e.addr << std::dec << ' '
+                << e.size << '\n';
+            break;
+          case Command::Atomic:
+            out << "A 0x" << std::hex << e.addr << std::dec << '\n';
+            break;
+        }
+    }
+    return out.str();
+}
+
+namespace
+{
+
+/** Pick read or write per the configured write fraction. */
+Command
+pickOp(const SyntheticTraceConfig &cfg, Xoshiro256StarStar &rng)
+{
+    return rng.nextDouble() < cfg.writeFraction ? Command::Write
+                                                : Command::Read;
+}
+
+Addr
+alignDown(Addr addr, Bytes granule)
+{
+    return addr / granule * granule;
+}
+
+} // namespace
+
+Trace
+uniformTrace(const SyntheticTraceConfig &cfg)
+{
+    Xoshiro256StarStar rng(cfg.seed);
+    Trace trace;
+    trace.reserve(cfg.numEntries);
+    const Bytes slots = cfg.footprint / cfg.requestSize;
+    for (std::size_t i = 0; i < cfg.numEntries; ++i) {
+        trace.push_back({pickOp(cfg, rng),
+                         cfg.base + rng.nextBounded(slots) *
+                                        cfg.requestSize,
+                         cfg.requestSize});
+    }
+    return trace;
+}
+
+Trace
+stridedTrace(const SyntheticTraceConfig &cfg, Bytes stride)
+{
+    if (stride == 0)
+        fatal("strided trace needs a non-zero stride");
+    Xoshiro256StarStar rng(cfg.seed);
+    Trace trace;
+    trace.reserve(cfg.numEntries);
+    Addr cursor = 0;
+    for (std::size_t i = 0; i < cfg.numEntries; ++i) {
+        trace.push_back({pickOp(cfg, rng),
+                         cfg.base + alignDown(cursor % cfg.footprint,
+                                              cfg.requestSize),
+                         cfg.requestSize});
+        cursor += stride;
+    }
+    return trace;
+}
+
+Trace
+zipfTrace(const SyntheticTraceConfig &cfg, double alpha,
+          std::size_t num_objects)
+{
+    if (num_objects == 0)
+        fatal("zipf trace needs at least one object");
+    Xoshiro256StarStar rng(cfg.seed);
+
+    // CDF over object ranks: weight(rank) = 1 / rank^alpha.
+    std::vector<double> cdf(num_objects);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < num_objects; ++r) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+        cdf[r] = sum;
+    }
+    for (double &v : cdf)
+        v /= sum;
+
+    // Scatter object ranks over the footprint with a fixed random
+    // placement so hot objects are not address-adjacent.
+    const Bytes slots = cfg.footprint / cfg.requestSize;
+    std::vector<Addr> placement(num_objects);
+    for (auto &slot : placement)
+        slot = rng.nextBounded(slots);
+
+    Trace trace;
+    trace.reserve(cfg.numEntries);
+    for (std::size_t i = 0; i < cfg.numEntries; ++i) {
+        const double u = rng.nextDouble();
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const auto rank =
+            static_cast<std::size_t>(it - cdf.begin());
+        trace.push_back({pickOp(cfg, rng),
+                         cfg.base + placement[rank] * cfg.requestSize,
+                         cfg.requestSize});
+    }
+    return trace;
+}
+
+Trace
+pointerChaseTrace(const SyntheticTraceConfig &cfg)
+{
+    Xoshiro256StarStar rng(cfg.seed);
+    // Visit a random permutation of distinct slots: each access's
+    // target is stored in the previous node, so issue order is the
+    // dependence order (replay with maxOutstanding = 1).
+    const Bytes slots_in_footprint = cfg.footprint / cfg.requestSize;
+    const std::size_t nodes =
+        static_cast<std::size_t>(std::min<Bytes>(cfg.numEntries,
+                                                 slots_in_footprint));
+    std::vector<Addr> order(nodes);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = nodes; i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBounded(i)]);
+
+    Trace trace;
+    trace.reserve(cfg.numEntries);
+    for (std::size_t i = 0; i < cfg.numEntries; ++i) {
+        trace.push_back({Command::Read,
+                         cfg.base + order[i % nodes] * cfg.requestSize,
+                         cfg.requestSize});
+    }
+    return trace;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace-driven workloads.
+ *
+ * The paper's GUPS patterns are "building blocks of real
+ * applications" (Sec. I); this module closes the loop by letting real
+ * or synthetic *traces* drive the same simulated platform. A trace is
+ * a sequence of (op, address, size) records; sources include:
+ *
+ *  - text files ("R 0x1a2b 128" per line, '#' comments),
+ *  - synthetic generators for the classic application shapes the
+ *    paper's introduction gestures at: uniform random (GUPS), strided
+ *    streams, Zipf-skewed hot spots, and pointer chases.
+ */
+
+#ifndef HMCSIM_GUPS_TRACE_HH
+#define HMCSIM_GUPS_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "protocol/packet.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** One trace record. */
+struct TraceEntry
+{
+    Command op = Command::Read;
+    Addr addr = 0;
+    Bytes size = 128;
+};
+
+/** An in-memory trace. */
+using Trace = std::vector<TraceEntry>;
+
+/**
+ * Parse a text trace. Format, one record per line:
+ *
+ *     R 0x00001a00 128
+ *     W 4096 64
+ *     A 0x2000          (atomic; size fixed at 16)
+ *
+ * Blank lines and lines starting with '#' are ignored.
+ * Calls fatal() on malformed input.
+ */
+Trace parseTrace(std::istream &in);
+
+/** Parse a trace from a string (convenience for tests). */
+Trace parseTraceString(const std::string &text);
+
+/** Serialize a trace in the same text format. */
+std::string formatTrace(const Trace &trace);
+
+// ---- Synthetic generators ---------------------------------------------
+
+/** Common knobs for the synthetic trace generators. */
+struct SyntheticTraceConfig
+{
+    std::size_t numEntries = 10000;
+    Bytes requestSize = 128;
+    /** Footprint the addresses are drawn from. */
+    Bytes footprint = 4 * gib;
+    /** Base address of the footprint. */
+    Addr base = 0;
+    /** Fraction of operations that are writes (reads otherwise). */
+    double writeFraction = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/** Uniform random accesses over the footprint (GUPS-like). */
+Trace uniformTrace(const SyntheticTraceConfig &cfg);
+
+/**
+ * Sequential stream with a fixed stride (stride == requestSize gives
+ * a dense stream; larger strides model column walks).
+ */
+Trace stridedTrace(const SyntheticTraceConfig &cfg, Bytes stride);
+
+/**
+ * Zipf-distributed accesses over @p num_objects equally sized
+ * objects: object popularity ~ 1/rank^alpha. alpha = 0 degenerates
+ * to uniform; alpha ~1 models hot keys in caches/key-value stores.
+ */
+Trace zipfTrace(const SyntheticTraceConfig &cfg, double alpha,
+                std::size_t num_objects);
+
+/**
+ * Pointer chase: a random permutation walk where each access's
+ * location was determined by the previous one -- fully dependent,
+ * latency-bound traffic. The dependence is honored by replaying it
+ * with outstanding = 1.
+ */
+Trace pointerChaseTrace(const SyntheticTraceConfig &cfg);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_GUPS_TRACE_HH

@@ -1,0 +1,180 @@
+#include "hmc/chain.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+CubeChain::CubeChain(const CubeChainConfig &cfg)
+    : cfg(cfg), failed(cfg.numCubes, false)
+{
+    if (cfg.numCubes == 0 || cfg.numCubes > 8)
+        fatal("chain supports 1..8 cubes (got %u)", cfg.numCubes);
+
+    for (unsigned i = 0; i < cfg.numCubes; ++i)
+        cubes.push_back(std::make_unique<HmcDevice>(cfg.cube));
+
+    LinkConfig link;
+    link.numLinks = 1;
+    link.lanesPerLink = 8;
+    link.gbpsPerLane = 15.0;
+    link.protocolEfficiency =
+        cfg.cubeLinkBytesPerSecond / link.rawLinkBytesPerSecond();
+    link.perPacketOverheadBytes = 16;
+    for (unsigned i = 0; i + 1 < cfg.numCubes; ++i) {
+        linksUp.push_back(
+            std::make_unique<LinkDirection>(link, nsToTicks(10.0),
+                                            0xC0A1 + i));
+        linksDown.push_back(
+            std::make_unique<LinkDirection>(link, nsToTicks(10.0),
+                                            0xC0B1 + i));
+    }
+}
+
+Bytes
+CubeChain::capacity() const
+{
+    return cfg.cube.structure.capacity * cfg.numCubes;
+}
+
+unsigned
+CubeChain::targetCube(Addr addr) const
+{
+    return static_cast<unsigned>(
+        (addr / cfg.cube.structure.capacity) % cfg.numCubes);
+}
+
+bool
+CubeChain::pathClear(bool from_front, unsigned target,
+                     unsigned &hops) const
+{
+    if (from_front) {
+        // Forwarded by cubes 0..target-1.
+        hops = target;
+        for (unsigned i = 0; i < target; ++i) {
+            if (failed[i])
+                return false;
+        }
+        return true;
+    }
+    const unsigned last = numCubes() - 1;
+    hops = last - target;
+    for (unsigned i = last; i > target; --i) {
+        if (failed[i])
+            return false;
+    }
+    return true;
+}
+
+Tick
+CubeChain::traverse(bool from_front, unsigned target, Tick start,
+                    Bytes bytes, bool toward_cube)
+{
+    Tick t = start;
+    if (from_front) {
+        if (toward_cube) {
+            for (unsigned i = 0; i < target; ++i)
+                t = linksUp[i]->transmit(t + cfg.passThroughLatency,
+                                         bytes);
+        } else {
+            for (unsigned i = target; i > 0; --i)
+                t = linksDown[i - 1]->transmit(
+                    t + cfg.passThroughLatency, bytes);
+        }
+    } else {
+        const unsigned last = numCubes() - 1;
+        if (toward_cube) {
+            for (unsigned i = last; i > target; --i)
+                t = linksDown[i - 1]->transmit(
+                    t + cfg.passThroughLatency, bytes);
+        } else {
+            for (unsigned i = target; i < last; ++i)
+                t = linksUp[i]->transmit(t + cfg.passThroughLatency,
+                                         bytes);
+        }
+    }
+    return t;
+}
+
+Tick
+CubeChain::handleRequest(Packet &pkt, Tick arrival,
+                         ChainRouteInfo *route)
+{
+    const unsigned target = targetCube(pkt.addr);
+
+    unsigned hops_front = 0, hops_back = 0;
+    const bool front_ok = pathClear(true, target, hops_front);
+    const bool back_ok =
+        numCubes() > 1 ? pathClear(false, target, hops_back) : false;
+
+    ChainRouteInfo info;
+    if (!front_ok && !back_ok) {
+        info.reachable = false;
+        ++numUnreachable;
+        pkt.thermalFailure = true;
+        if (route)
+            *route = info;
+        return arrival + cfg.passThroughLatency;
+    }
+
+    bool from_front;
+    if (front_ok && back_ok) {
+        from_front = hops_front <= hops_back;
+    } else {
+        from_front = front_ok;
+        // Rerouted if the shorter side was the blocked one.
+        const unsigned chosen = front_ok ? hops_front : hops_back;
+        const unsigned other = front_ok ? hops_back : hops_front;
+        info.rerouted = chosen > other;
+    }
+    info.hops = from_front ? hops_front : hops_back;
+    if (info.rerouted)
+        ++numRerouted;
+
+    // Request hops toward the target cube...
+    const Tick at_cube =
+        traverse(from_front, target, arrival, pkt.reqBytes(), true);
+    // ...the target services it...
+    const Tick resp_ready = cubes[target]->handleRequest(pkt, at_cube);
+    // ...and the response hops back.
+    const Tick at_host = traverse(from_front, target, resp_ready,
+                                  pkt.respBytes(), false);
+    if (route)
+        *route = info;
+    return at_host;
+}
+
+void
+CubeChain::setCubeFailed(unsigned cube_idx, bool is_failed)
+{
+    failed.at(cube_idx) = is_failed;
+    cubes.at(cube_idx)->setThermalShutdown(is_failed);
+}
+
+bool
+CubeChain::reachable(unsigned cube_idx) const
+{
+    unsigned hops = 0;
+    if (pathClear(true, cube_idx, hops))
+        return true;
+    return numCubes() > 1 && pathClear(false, cube_idx, hops);
+}
+
+void
+CubeChain::registerStats(StatRegistry &registry,
+                         const StatPath &path) const
+{
+    registry.addValue((path / "unreachable_requests").str(),
+                      "requests with no healthy path",
+                      &numUnreachable);
+    registry.addValue((path / "rerouted_requests").str(),
+                      "requests routed around a failed cube",
+                      &numRerouted);
+    for (unsigned i = 0; i < numCubes(); ++i)
+        cubes[i]->registerStats(registry,
+                                path / ("cube" + std::to_string(i)));
+}
+
+} // namespace hmcsim

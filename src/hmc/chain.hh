@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Multi-cube chaining.
+ *
+ * HMC's packet-switched interface lets cubes forward packets for one
+ * another, scaling capacity beyond a single package and -- as the
+ * paper puts it (Sec. IV-E2) -- buying "better package-level fault
+ * tolerance via rerouting around failed packages". This module models
+ * a ring of cubes: the host attaches to both ends (cube 0 and cube
+ * N-1), every neighboring pair is connected by a full-duplex link,
+ * and a request for cube k takes the shorter healthy path. When a
+ * cube fails (thermal shutdown, Sec. IV-C), traffic for the others
+ * reroutes the opposite way around the ring; only the failed cube's
+ * own capacity is lost.
+ *
+ * Addressing follows the HMC header's CUB field: the top address bits
+ * above a cube's capacity select the target cube.
+ */
+
+#ifndef HMCSIM_HMC_CHAIN_HH
+#define HMCSIM_HMC_CHAIN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hmc/device.hh"
+#include "link/link.hh"
+#include "protocol/packet.hh"
+#include "sim/stat_registry.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Chain configuration. */
+struct CubeChainConfig
+{
+    /** Cubes in the ring (HMC supports up to 8). */
+    unsigned numCubes = 2;
+    /** Per-cube device configuration. */
+    HmcDeviceConfig cube;
+    /** Inter-cube link: one half-width 15 Gbps bundle per direction
+     *  between neighbors, derated like the host links. */
+    double cubeLinkBytesPerSecond = 10.5e9;
+    /** Store-and-forward time through an intermediate cube's logic
+     *  layer (deserialize, route, reserialize). */
+    Tick passThroughLatency = nsToTicks(55.0);
+};
+
+/** Outcome of routing one request. */
+struct ChainRouteInfo
+{
+    bool reachable = true;
+    /** Hops from the chosen host port to the target cube. */
+    unsigned hops = 0;
+    /** True when the shorter-side path was blocked by a failure. */
+    bool rerouted = false;
+};
+
+/** A ring of HMC cubes behind two host attach points. */
+class CubeChain
+{
+  public:
+    explicit CubeChain(const CubeChainConfig &cfg);
+
+    /** Total addressable capacity across all cubes. */
+    Bytes capacity() const;
+
+    /** Cube index an address targets (the CUB field). */
+    unsigned targetCube(Addr addr) const;
+
+    /**
+     * Route and service one request arriving at the host interface.
+     * Fills @p route with the path taken. Unreachable targets (all
+     * paths blocked by failures) return immediately with
+     * route.reachable = false and flag the packet.
+     *
+     * @return Response-ready time back at the host interface.
+     */
+    Tick handleRequest(Packet &pkt, Tick arrival,
+                       ChainRouteInfo *route = nullptr);
+
+    /** Mark a cube failed (e.g. thermal shutdown) or recovered. */
+    void setCubeFailed(unsigned cube, bool failed);
+    bool cubeFailed(unsigned cube) const { return failed.at(cube); }
+
+    /** True when some healthy path reaches @p cube. */
+    bool reachable(unsigned cube) const;
+
+    HmcDevice &cube(unsigned idx) { return *cubes.at(idx); }
+    unsigned numCubes() const
+    {
+        return static_cast<unsigned>(cubes.size());
+    }
+    const CubeChainConfig &config() const { return cfg; }
+
+    /** Requests that could not be delivered (no healthy path). */
+    std::uint64_t unreachableRequests() const { return numUnreachable; }
+    /** Requests that took the long way around a failure. */
+    std::uint64_t reroutedRequests() const { return numRerouted; }
+
+    /** Register chain + per-cube counters under @p path. */
+    void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+  private:
+    /**
+     * Hops from host side 0 (entering at cube 0) to @p target going
+     * "up" the chain, checking intermediate cubes for failures.
+     * Returns false when blocked.
+     */
+    bool pathClear(bool from_front, unsigned target,
+                   unsigned &hops) const;
+
+    /** Serialize over the @p hops inter-cube links of one side. */
+    Tick traverse(bool from_front, unsigned target, Tick start,
+                  Bytes bytes, bool toward_cube);
+
+    CubeChainConfig cfg;
+    std::vector<std::unique_ptr<HmcDevice>> cubes;
+    std::vector<bool> failed;
+    /** Per-neighbor-pair links: [i] connects cube i and cube i+1,
+     *  one LinkDirection per direction. */
+    std::vector<std::unique_ptr<LinkDirection>> linksUp;
+    std::vector<std::unique_ptr<LinkDirection>> linksDown;
+    std::uint64_t numUnreachable = 0;
+    std::uint64_t numRerouted = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HMC_CHAIN_HH

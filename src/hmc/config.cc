@@ -1,0 +1,76 @@
+#include "hmc/config.hh"
+
+namespace hmcsim
+{
+
+HmcConfig
+HmcConfig::gen1()
+{
+    HmcConfig c;
+    c.name = "HMC 1.0 (Gen1)";
+    c.capacity = 512 * mib;
+    c.numDramLayers = 4;
+    c.dramLayerGbits = 1;
+    c.numVaults = 16;
+    c.partitionsPerLayer = 16;
+    c.banksPerPartition = 2;
+    return c;
+}
+
+HmcConfig
+HmcConfig::gen2_2GB()
+{
+    HmcConfig c;
+    c.name = "HMC 1.1 (Gen2) 2GB";
+    c.capacity = 2 * gib;
+    c.numDramLayers = 4;
+    c.dramLayerGbits = 4;
+    c.numVaults = 16;
+    c.partitionsPerLayer = 16;
+    c.banksPerPartition = 2;
+    return c;
+}
+
+HmcConfig
+HmcConfig::gen2_4GB()
+{
+    HmcConfig c;
+    c.name = "HMC 1.1 (Gen2) 4GB";
+    c.capacity = 4 * gib;
+    c.numDramLayers = 8;
+    c.dramLayerGbits = 4;
+    c.numVaults = 16;
+    c.partitionsPerLayer = 16;
+    c.banksPerPartition = 2;
+    return c;
+}
+
+HmcConfig
+HmcConfig::hmc2_4GB()
+{
+    HmcConfig c;
+    c.name = "HMC 2.0 4GB";
+    c.capacity = 4 * gib;
+    c.numDramLayers = 4;
+    c.dramLayerGbits = 8;
+    c.numVaults = 32;
+    c.partitionsPerLayer = 32;
+    c.banksPerPartition = 2;
+    return c;
+}
+
+HmcConfig
+HmcConfig::hmc2_8GB()
+{
+    HmcConfig c;
+    c.name = "HMC 2.0 8GB";
+    c.capacity = 8 * gib;
+    c.numDramLayers = 8;
+    c.dramLayerGbits = 8;
+    c.numVaults = 32;
+    c.partitionsPerLayer = 32;
+    c.banksPerPartition = 2;
+    return c;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Structural configuration of HMC devices (Table I of the paper).
+ *
+ * Encodes the published properties of each HMC generation and derives
+ * the quantities the paper computes from them: bank counts (Eq. 1),
+ * partition/bank sizes, and the addressable hierarchy used by the
+ * address mapper.
+ */
+
+#ifndef HMCSIM_HMC_CONFIG_HH
+#define HMCSIM_HMC_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Static structural description of one HMC device. */
+struct HmcConfig
+{
+    std::string name;
+    /** Total DRAM capacity in bytes. */
+    Bytes capacity = 4 * gib;
+    /** Number of stacked DRAM dies. */
+    unsigned numDramLayers = 8;
+    /** Size of one DRAM die in gigabits. */
+    unsigned dramLayerGbits = 4;
+    /** Quadrants per device (always 4). */
+    unsigned numQuadrants = 4;
+    /** Vertical vaults per device. */
+    unsigned numVaults = 16;
+    /** DRAM partitions per layer (one per vault). */
+    unsigned partitionsPerLayer = 16;
+    /** Independent banks inside one DRAM partition. */
+    unsigned banksPerPartition = 2;
+
+    /** Vaults sharing one external link's quadrant. */
+    unsigned
+    vaultsPerQuadrant() const
+    {
+        return numVaults / numQuadrants;
+    }
+
+    /** Eq. 1: layers x partitions/layer x banks/partition. */
+    unsigned
+    numBanks() const
+    {
+        return numDramLayers * partitionsPerLayer * banksPerPartition;
+    }
+
+    /** Banks addressable inside one vault. */
+    unsigned
+    banksPerVault() const
+    {
+        return numBanks() / numVaults;
+    }
+
+    /** Capacity of one bank in bytes. */
+    Bytes
+    bankBytes() const
+    {
+        return capacity / numBanks();
+    }
+
+    /** Capacity of one DRAM partition in bytes. */
+    Bytes
+    partitionBytes() const
+    {
+        return bankBytes() * banksPerPartition;
+    }
+
+    /** Capacity of one vault in bytes. */
+    Bytes
+    vaultBytes() const
+    {
+        return capacity / numVaults;
+    }
+
+    // ---- Table I instances -------------------------------------------
+
+    /** HMC 1.0 (Gen1): 0.5 GB, 4 x 1 Gb layers, 128 banks. */
+    static HmcConfig gen1();
+
+    /** HMC 1.1 (Gen2) 2 GB variant: 4 x 4 Gb layers, 128 banks. */
+    static HmcConfig gen2_2GB();
+
+    /**
+     * HMC 1.1 (Gen2) 4 GB variant: 8 x 4 Gb layers, 256 banks.
+     * This is the device on the AC-510 used in every experiment.
+     */
+    static HmcConfig gen2_4GB();
+
+    /** HMC 2.0, 4 GB variant: 32 vaults. */
+    static HmcConfig hmc2_4GB();
+
+    /** HMC 2.0, 8 GB variant: 32 vaults, 8 Gb layers. */
+    static HmcConfig hmc2_8GB();
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HMC_CONFIG_HH

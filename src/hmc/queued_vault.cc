@@ -1,0 +1,122 @@
+#include "hmc/queued_vault.hh"
+
+#include <utility>
+
+#include "dram/bank.hh"
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+QueuedVaultController::QueuedVaultController(const QueuedVaultConfig &cfg,
+                                             EventQueue &queue,
+                                             CompletionFn on_complete)
+    : cfg(cfg),
+      queue(queue),
+      onComplete(std::move(on_complete)),
+      bankState(cfg.base.numBanks),
+      banks(cfg.base.numBanks),
+      bankQueues(cfg.base.numBanks)
+{
+}
+
+bool
+QueuedVaultController::offer(const Packet &pkt)
+{
+    const unsigned bank_idx = pkt.bank;
+    if (cfg.perBankQueueDepth != 0 &&
+        bankQueues.at(bank_idx).size() >= cfg.perBankQueueDepth) {
+        ++_stats.rejected;
+        return false;
+    }
+    ++_stats.accepted;
+    Packet copy = pkt;
+    copy.tVaultArrive = queue.now();
+    bankQueues[bank_idx].push_back(std::move(copy));
+    if (!bankState[bank_idx].busy)
+        startNext(bank_idx);
+    return true;
+}
+
+void
+QueuedVaultController::startNext(unsigned bank_idx)
+{
+    auto &bank_queue = bankQueues[bank_idx];
+    // Defer while the bank-to-bus stage is full: the data would have
+    // nowhere to go (grantBus() re-sweeps the banks as it drains).
+    const bool stage_full =
+        cfg.busQueueLimit != 0 &&
+        busQueue.size() + (busBusy ? 1u : 0u) >= cfg.busQueueLimit;
+    if (bank_queue.empty() || stage_full) {
+        bankState[bank_idx].busy = false;
+        return;
+    }
+    bankState[bank_idx].busy = true;
+    Packet pkt = std::move(bank_queue.front());
+    bank_queue.pop_front();
+
+    const bool is_write = pkt.cmd != Command::Read;
+    // A request that deferred on the bus stage starts now, not at its
+    // (past) arrival time.
+    const Tick earliest = pkt.tVaultArrive + cfg.base.controllerLatency;
+    const Tick ready = earliest > queue.now() ? earliest : queue.now();
+    BankAccessResult res =
+        banks[bank_idx].access(cfg.base.timings, cfg.base.policy, ready,
+                               pkt.row, pkt.payload, is_write);
+    if (pkt.cmd == Command::Atomic)
+        res.dataReady += cfg.base.atomicLatency;
+
+    queue.schedule(res.dataReady,
+                   [this, bank_idx, pkt = std::move(pkt)]() mutable {
+                       onBankDone(bank_idx, std::move(pkt));
+                   });
+    queue.schedule(res.bankFree, [this, bank_idx] {
+        startNext(bank_idx);
+    });
+}
+
+void
+QueuedVaultController::onBankDone(unsigned bank_idx, Packet pkt)
+{
+    (void)bank_idx;
+    const Bytes beat_span =
+        (pkt.addr % cfg.base.timings.beatBytes) + pkt.payload;
+    const Bytes bus_bytes =
+        (cfg.base.timings.beats(beat_span) + cfg.base.commandBeats) *
+        cfg.base.timings.beatBytes;
+    busQueue.push_back({std::move(pkt), bus_bytes});
+    grantBus();
+}
+
+void
+QueuedVaultController::grantBus()
+{
+    if (busBusy || busQueue.empty())
+        return;
+    busBusy = true;
+    BusRequest req = std::move(busQueue.front());
+    busQueue.pop_front();
+
+    const double bytes_per_ps =
+        static_cast<double>(cfg.base.timings.beatBytes) /
+        static_cast<double>(cfg.base.timings.tBeat);
+    const Tick duration = static_cast<Tick>(
+        static_cast<double>(req.busBytes) / bytes_per_ps);
+    _stats.busBusy += duration;
+
+    queue.scheduleIn(duration, [this, pkt = std::move(req.pkt)] {
+        ++_stats.completed;
+        onComplete(pkt, queue.now());
+        busBusy = false;
+        grantBus();
+        // The stage drained: wake any banks that deferred on it.
+        if (cfg.busQueueLimit != 0) {
+            for (unsigned b = 0; b < bankState.size(); ++b) {
+                if (!bankState[b].busy && !bankQueues[b].empty())
+                    startNext(b);
+            }
+        }
+    });
+}
+
+} // namespace hmcsim

@@ -1,0 +1,156 @@
+#include "hmc/vault_controller.hh"
+
+namespace hmcsim
+{
+
+namespace
+{
+double
+busBytesPerSecond(const DramTimings &t)
+{
+    return static_cast<double>(t.beatBytes) * 1e12 /
+           static_cast<double>(t.tBeat);
+}
+} // namespace
+
+VaultController::VaultController(const VaultConfig &cfg)
+    : cfg(cfg),
+      banks(cfg.numBanks),
+      nextRefresh(cfg.numBanks, 0),
+      dataBus(busBytesPerSecond(cfg.timings))
+{
+    // Stagger initial refresh deadlines so banks do not refresh in
+    // lockstep (real controllers rotate REF commands).
+    const Tick interval = refreshInterval();
+    if (interval != 0) {
+        for (unsigned i = 0; i < cfg.numBanks; ++i)
+            nextRefresh[i] = interval * (i + 1) / cfg.numBanks;
+    }
+}
+
+Tick
+VaultController::refreshInterval() const
+{
+    if (!cfg.refreshEnabled || cfg.refreshMultiplier <= 0.0)
+        return 0;
+    return static_cast<Tick>(static_cast<double>(cfg.timings.tRefi) /
+                             cfg.refreshMultiplier);
+}
+
+void
+VaultController::setRefresh(bool enabled, double multiplier)
+{
+    cfg.refreshEnabled = enabled;
+    cfg.refreshMultiplier = multiplier;
+}
+
+void
+VaultController::refreshDue(unsigned bank_idx, Tick now)
+{
+    const Tick interval = refreshInterval();
+    if (interval == 0)
+        return;
+    while (nextRefresh[bank_idx] <= now) {
+        banks[bank_idx].refresh(cfg.timings, nextRefresh[bank_idx]);
+        nextRefresh[bank_idx] += interval;
+        ++_stats.refreshes;
+    }
+}
+
+Tick
+VaultController::service(const Packet &pkt, Tick arrival)
+{
+    // Atomics modify in place: they occupy the bank like a write and
+    // pay the controller's ALU latency on top.
+    const bool is_write = pkt.cmd != Command::Read;
+    const Tick start = arrival + cfg.controllerLatency;
+
+    refreshDue(pkt.bank, start);
+    Bank &bank = banks.at(pkt.bank);
+    BankAccessResult res = bank.access(
+        cfg.timings, cfg.policy, start, pkt.row, pkt.payload, is_write);
+    if (pkt.cmd == Command::Atomic)
+        res.dataReady += cfg.atomicLatency;
+
+    // The shared TSV data bus moves the payload in 32 B beats plus a
+    // command slot; it is the vault's 10 GB/s internal bottleneck.
+    // A request that starts inside a 32 B beat wastes part of the
+    // first beat (Sec. II-C: "starting or ending a request on a
+    // 16-byte boundary uses the DRAM bus inefficiently").
+    const Bytes beat_span =
+        (pkt.addr % cfg.timings.beatBytes) + pkt.payload;
+    const Bytes bus_bytes =
+        (cfg.timings.beats(beat_span) + cfg.commandBeats) *
+        cfg.timings.beatBytes;
+    const Tick bus_done =
+        dataBus.admit(res.dataReady, static_cast<double>(bus_bytes));
+
+    switch (pkt.cmd) {
+      case Command::Read:
+        ++_stats.reads;
+        break;
+      case Command::Write:
+        ++_stats.writes;
+        break;
+      case Command::Atomic:
+        ++_stats.atomics;
+        break;
+    }
+    if (res.rowHit)
+        ++_stats.rowHits;
+    _stats.payloadBytes += pkt.payload;
+
+    return bus_done;
+}
+
+void
+VaultController::refreshAll(Tick at)
+{
+    for (auto &bank : banks)
+        bank.refresh(cfg.timings, at);
+}
+
+void
+VaultController::registerStats(StatRegistry &registry,
+                               const StatPath &path) const
+{
+    registry.addValue((path / "reads").str(), "read requests serviced",
+                      &_stats.reads);
+    registry.addValue((path / "writes").str(),
+                      "write requests serviced", &_stats.writes);
+    registry.addValue((path / "atomics").str(),
+                      "atomic requests serviced", &_stats.atomics);
+    registry.addValue((path / "row_hits").str(),
+                      "open-page row-buffer hits", &_stats.rowHits);
+    registry.addValue((path / "refreshes").str(),
+                      "refresh cycles performed", &_stats.refreshes);
+    registry.addValue((path / "payload_bytes").str(),
+                      "payload bytes moved", &_stats.payloadBytes);
+    registry.add((path / "bus_busy_us").str(),
+                 "TSV data-bus busy time",
+                 [this] { return ticksToUs(dataBus.busyTime()); });
+}
+
+double
+VaultController::busUtilization(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(dataBus.busyTime()) /
+           static_cast<double>(elapsed);
+}
+
+void
+VaultController::reset()
+{
+    for (auto &bank : banks)
+        bank.reset();
+    dataBus.reset();
+    _stats = VaultStats{};
+    const Tick interval = refreshInterval();
+    for (unsigned i = 0; i < cfg.numBanks; ++i)
+        nextRefresh[i] =
+            interval ? interval * (i + 1) / cfg.numBanks : 0;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Vault controller model.
+ *
+ * Each of the 16 vaults has a private memory controller in the logic
+ * layer connected to its DRAM partitions by 32 data TSVs with a 32 B
+ * access granularity and roughly 10 GB/s of internal bandwidth
+ * (Sec. II, [26]). The controller keeps per-bank state so distinct
+ * banks overlap (BLP) while the shared TSV data bus serializes data
+ * transfer; that combination produces the paper's two key vault-level
+ * effects: one bank sustains only a few GB/s, and a vault saturates
+ * near 10 GB/s once ~8 banks are busy (Figs. 6, 7, 18).
+ */
+
+#ifndef HMCSIM_HMC_VAULT_CONTROLLER_HH
+#define HMCSIM_HMC_VAULT_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/bank.hh"
+#include "sim/stat_registry.hh"
+#include "dram/timings.hh"
+#include "link/link.hh"
+#include "protocol/packet.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Per-vault configuration knobs. */
+struct VaultConfig
+{
+    unsigned numBanks = 16;
+    DramTimings timings = hmcGen2Timings();
+    PagePolicy policy = PagePolicy::Closed;
+    /** Fixed controller pipeline latency per request (decode, queue
+     *  management, TSV crossing). */
+    Tick controllerLatency = nsToTicks(16.0);
+    /** Extra data-bus beats charged per access (command slot). */
+    unsigned commandBeats = 1;
+    /** In-controller ALU time for atomic read-modify-write commands
+     *  (the PIM-flavored HMC commands; HMC 2.0 widens this set). */
+    Tick atomicLatency = nsToTicks(4.0);
+    /**
+     * Enable the refresh engine. Off by default: the paper's 20 s
+     * bandwidth measurements fold the ~2 % refresh derating into the
+     * calibrated link/DRAM rates; turn it on to study the refresh-
+     * rate sensitivity explicitly (Sec. I: higher temperatures
+     * trigger more frequent refresh, costing bandwidth and power).
+     */
+    bool refreshEnabled = false;
+    /** Refresh-rate multiplier: 1 = nominal, 2 = hot (>85 C) rate. */
+    double refreshMultiplier = 1.0;
+};
+
+/** Aggregate statistics of one vault. */
+struct VaultStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t refreshes = 0;
+    Bytes payloadBytes = 0;
+};
+
+/**
+ * Analytic vault controller: given a request's arrival time, computes
+ * when its response is ready, booking the bank and the TSV data bus.
+ */
+class VaultController
+{
+  public:
+    explicit VaultController(const VaultConfig &cfg);
+
+    /**
+     * Service one request.
+     * @param pkt Decoded request (bank/row fields must be filled in).
+     * @param arrival Time the request enters the vault controller.
+     * @return Time the response packet is ready to leave the vault.
+     */
+    Tick service(const Packet &pkt, Tick arrival);
+
+    /** Advance all banks through a refresh cycle (maintenance hook). */
+    void refreshAll(Tick at);
+
+    /**
+     * Reconfigure the refresh engine, e.g. when the thermal model
+     * reports a temperature requiring a faster refresh rate.
+     */
+    void setRefresh(bool enabled, double multiplier);
+
+    /** Current per-bank refresh interval in ticks (0 if disabled). */
+    Tick refreshInterval() const;
+
+    const VaultStats &stats() const { return _stats; }
+
+    /**
+     * Register this vault's counters under @p path. The vault must
+     * outlive the registry.
+     */
+    void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+    const Bank &bank(unsigned idx) const { return banks.at(idx); }
+    /** Utilization of the TSV data bus over @p elapsed ticks. */
+    double busUtilization(Tick elapsed) const;
+
+    void reset();
+
+  private:
+    /** Catch the bank up on refreshes due by @p now. */
+    void refreshDue(unsigned bank_idx, Tick now);
+
+    VaultConfig cfg;
+    std::vector<Bank> banks;
+    /** Next scheduled refresh per bank (staggered at start). */
+    std::vector<Tick> nextRefresh;
+    ThroughputRegulator dataBus;
+    VaultStats _stats;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HMC_VAULT_CONTROLLER_HH

@@ -1,0 +1,101 @@
+#include "host/ac510.hh"
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+Ac510Module::Ac510Module(const Ac510Config &cfg) : cfg(cfg)
+{
+    if (cfg.numPorts == 0 || cfg.numPorts > maxGupsPorts)
+        fatal("AC-510 supports 1..%u GUPS ports (got %u)", maxGupsPorts,
+              cfg.numPorts);
+
+    _device = std::make_unique<HmcDevice>(cfg.device);
+    _controller = std::make_unique<HmcController>(
+        cfg.controller, _queue, *_device,
+        [this](const Packet &pkt) { ports.at(pkt.port)->onResponse(pkt); });
+
+    if (!cfg.perPort.empty() && cfg.perPort.size() < cfg.numPorts)
+        fatal("perPort overrides cover %zu of %u ports",
+              cfg.perPort.size(), cfg.numPorts);
+
+    for (unsigned i = 0; i < cfg.numPorts; ++i) {
+        GupsPortConfig port_cfg =
+            cfg.perPort.empty() ? cfg.port : cfg.perPort[i];
+        // Ports distribute their packets over however many links the
+        // controller was calibrated with.
+        port_cfg.numLinks = cfg.controller.numLinks;
+        ports.push_back(std::make_unique<GupsPort>(
+            i, port_cfg, cfg.device.structure.capacity, _queue,
+            [this](Packet &&pkt) {
+                _controller->submitRequest(std::move(pkt));
+            },
+            cfg.seed));
+    }
+}
+
+void
+Ac510Module::start()
+{
+    for (auto &port : ports)
+        port->start();
+}
+
+void
+Ac510Module::stop()
+{
+    for (auto &port : ports)
+        port->stop();
+}
+
+bool
+Ac510Module::allPortsIdle() const
+{
+    for (const auto &port : ports) {
+        if (!port->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Ac510Module::resetPortStats()
+{
+    for (auto &port : ports)
+        port->resetStats();
+}
+
+void
+Ac510Module::registerStats(StatRegistry &registry,
+                           const StatPath &path) const
+{
+    _controller->registerStats(registry, path / "controller");
+    _device->registerStats(registry, path / "hmc");
+    for (unsigned i = 0; i < ports.size(); ++i)
+        ports[i]->registerStats(registry,
+                                path / ("port" + std::to_string(i)));
+}
+
+GupsPortStats
+Ac510Module::aggregateStats() const
+{
+    GupsPortStats agg;
+    for (const auto &port : ports) {
+        const GupsPortStats &s = port->stats();
+        agg.readsIssued += s.readsIssued;
+        agg.writesIssued += s.writesIssued;
+        agg.readsCompleted += s.readsCompleted;
+        agg.writesCompleted += s.writesCompleted;
+        agg.rawBytes += s.rawBytes;
+        agg.readPayloadBytes += s.readPayloadBytes;
+        agg.writePayloadBytes += s.writePayloadBytes;
+        agg.thermalFailures += s.thermalFailures;
+        agg.readLatencyNs.merge(s.readLatencyNs);
+        agg.writeLatencyNs.merge(s.writeLatencyNs);
+        agg.readLatencyHistNs.merge(s.readLatencyHistNs);
+    }
+    return agg;
+}
+
+} // namespace hmcsim

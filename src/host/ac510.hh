@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The AC-510 accelerator module: a Kintex UltraScale FPGA running
+ * GUPS and a Micron HMC controller, wired to a 4 GB HMC 1.1 over two
+ * half-width 15 Gbps links (Sec. III-A).
+ *
+ * This class assembles the full simulated system used by every
+ * experiment: event queue, GUPS ports, HMC controller, and the cube.
+ */
+
+#ifndef HMCSIM_HOST_AC510_HH
+#define HMCSIM_HOST_AC510_HH
+
+#include <memory>
+#include <vector>
+
+#include "gups/gups_port.hh"
+#include "hmc/device.hh"
+#include "host/calibration.hh"
+#include "host/hmc_controller.hh"
+#include "sim/event_queue.hh"
+
+namespace hmcsim
+{
+
+/** System-level configuration. */
+struct Ac510Config
+{
+    /** Active GUPS ports: 9 = full-scale, fewer = small-scale. */
+    unsigned numPorts = 9;
+    /** Port configuration applied to every active port... */
+    GupsPortConfig port;
+    /**
+     * ...unless per-port overrides are given (the hardware configures
+     * each port's type/size/masks independently, Sec. III-B). When
+     * non-empty, entry i configures port i; must cover numPorts.
+     */
+    std::vector<GupsPortConfig> perPort;
+    /** Cube configuration. */
+    HmcDeviceConfig device;
+    /** Controller calibration. */
+    ControllerCalibration controller;
+    /** Experiment seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Maximum usable GUPS ports (one of ten is reserved for system). */
+constexpr unsigned maxGupsPorts = gupsPortCount;
+
+/** The assembled accelerator module. */
+class Ac510Module
+{
+  public:
+    explicit Ac510Module(const Ac510Config &cfg);
+
+    /** Start all ports issuing. */
+    void start();
+    /** Stop all ports (outstanding requests drain). */
+    void stop();
+
+    /** Run the simulation until @p limit. */
+    void runUntil(Tick limit) { _queue.runUntil(limit); }
+    /** Run until every event (including drains) completes. */
+    void runToCompletion() { _queue.runToCompletion(); }
+
+    /** True when every port has no outstanding requests. */
+    bool allPortsIdle() const;
+
+    /** Clear all port monitoring counters (end of warm-up). */
+    void resetPortStats();
+
+    /** Sum of port statistics. */
+    GupsPortStats aggregateStats() const;
+
+    /**
+     * Register every component's counters under @p path
+     * (controller, cube + vaults, each port). The module must
+     * outlive the registry.
+     */
+    void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+    EventQueue &queue() { return _queue; }
+    HmcDevice &device() { return *_device; }
+    HmcController &controller() { return *_controller; }
+    GupsPort &port(unsigned idx) { return *ports.at(idx); }
+    unsigned numPorts() const
+    {
+        return static_cast<unsigned>(ports.size());
+    }
+    const Ac510Config &config() const { return cfg; }
+
+  private:
+    Ac510Config cfg;
+    EventQueue _queue;
+    std::unique_ptr<HmcDevice> _device;
+    std::unique_ptr<HmcController> _controller;
+    std::vector<std::unique_ptr<GupsPort>> ports;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HOST_AC510_HH

@@ -1,0 +1,89 @@
+#include "host/cosim.hh"
+
+#include "thermal/thermal_model.hh"
+
+namespace hmcsim
+{
+
+CoSimResult
+runCoSimulation(const CoSimConfig &cfg)
+{
+    // Build one persistent system so device state (refresh rate,
+    // shutdown) carries across steps.
+    Ac510Module module(makeSystemConfig(cfg.experiment));
+
+    const ThermalModel thermal(cfg.cooling, cfg.thermal);
+    const PowerModel power(cfg.power);
+    const double limit =
+        ThermalModel::temperatureLimit(cfg.experiment.mix);
+
+    CoSimResult result;
+    double temperature = cfg.cooling.idleTemperatureC;
+    double wall = 0.0;
+    Tick sim_now = 0;
+
+    module.start();
+    // Warm the pipeline before the first measured slice.
+    sim_now += cfg.experiment.warmup;
+    module.runUntil(sim_now);
+
+    while (wall < cfg.wallDurationSeconds) {
+        // Temperature feedback into the DRAM refresh engine.
+        const bool hot =
+            temperature > HmcDevice::hotRefreshThresholdC;
+        if (cfg.refreshFeedback)
+            module.device().applyTemperature(temperature);
+
+        // Measure a slice of sustained traffic at this temperature.
+        module.resetPortStats();
+        sim_now += cfg.sliceSimTime;
+        module.runUntil(sim_now);
+        const GupsPortStats agg = module.aggregateStats();
+        const double seconds = ticksToSeconds(cfg.sliceSimTime);
+
+        TrafficSummary traffic;
+        traffic.rawGBps =
+            toGBps(static_cast<double>(agg.rawBytes) / seconds);
+        traffic.readPayloadGBps = toGBps(
+            static_cast<double>(agg.readPayloadBytes) / seconds);
+        traffic.writePayloadGBps = toGBps(
+            static_cast<double>(agg.writePayloadBytes) / seconds);
+        traffic.readMrps =
+            static_cast<double>(agg.readsCompleted) / seconds / 1e6;
+        traffic.writeMrps =
+            static_cast<double>(agg.writesCompleted) / seconds / 1e6;
+
+        const double dynamic = power.hmcDynamicPower(traffic);
+
+        // Advance the wall clock through the RC model.
+        temperature =
+            thermal.step(temperature, dynamic, cfg.wallStepSeconds);
+        wall += cfg.wallStepSeconds;
+
+        CoSimSample sample;
+        sample.timeSeconds = wall;
+        sample.temperatureC = temperature;
+        sample.rawGBps = traffic.rawGBps;
+        sample.hmcDynamicW = dynamic;
+        sample.systemW = cfg.power.systemIdleW + cfg.power.fpgaActiveW +
+                         dynamic + thermal.leakagePower(temperature);
+        sample.hotRefresh = hot;
+        result.series.push_back(sample);
+
+        if (temperature > limit) {
+            result.failed = true;
+            result.failureTimeSeconds = wall;
+            // The cube shuts down: subsequent responses are flagged
+            // and no further DRAM work happens (Sec. IV-C).
+            module.device().setThermalShutdown(true);
+            if (cfg.stopOnFailure)
+                break;
+        }
+    }
+
+    result.finalTemperatureC = temperature;
+    module.stop();
+    return result;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Temperature-coupled co-simulation.
+ *
+ * The paper's thermal methodology runs each workload for 200 wall
+ * seconds and reads the settled temperature (Sec. III-A). This module
+ * reproduces that loop closed: performance simulation slices estimate
+ * sustained traffic, the power model turns traffic into watts, the
+ * transient RC model advances the temperature, and the temperature
+ * feeds back into the device (refresh rate doubles above 85 C;
+ * crossing the workload's reliability bound shuts the cube down,
+ * Sec. IV-C).
+ */
+
+#ifndef HMCSIM_HOST_COSIM_HH
+#define HMCSIM_HOST_COSIM_HH
+
+#include <vector>
+
+#include "host/experiment.hh"
+#include "power/power_model.hh"
+
+namespace hmcsim
+{
+
+/** Co-simulation configuration. */
+struct CoSimConfig
+{
+    /** Workload + platform (the measurement windows reuse this). */
+    ExperimentConfig experiment;
+    /** Cooling environment. */
+    CoolingConfig cooling = coolingConfig(1);
+    PowerParams power;
+    ThermalParams thermal;
+    /** Wall-clock seconds advanced per step. */
+    double wallStepSeconds = 5.0;
+    /** Total wall-clock duration (the paper runs 200 s). */
+    double wallDurationSeconds = 200.0;
+    /** Simulated window per step used to estimate sustained rates. */
+    Tick sliceSimTime = 200 * tickUs;
+    /** Couple temperature back into the refresh engine. */
+    bool refreshFeedback = true;
+    /** Stop at the reliability bound (cube shutdown). */
+    bool stopOnFailure = true;
+};
+
+/** One sample of the co-simulated time series. */
+struct CoSimSample
+{
+    double timeSeconds;
+    double temperatureC;
+    double rawGBps;
+    double hmcDynamicW;
+    double systemW;
+    bool hotRefresh; ///< Refresh rate doubled this step.
+};
+
+/** Co-simulation outcome. */
+struct CoSimResult
+{
+    std::vector<CoSimSample> series;
+    bool failed = false;
+    /** Wall time at which the reliability bound was crossed. */
+    double failureTimeSeconds = -1.0;
+    /** Final (or at-failure) temperature. */
+    double finalTemperatureC = 0.0;
+};
+
+/** Run the coupled loop. */
+CoSimResult runCoSimulation(const CoSimConfig &cfg);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HOST_COSIM_HH

@@ -1,0 +1,108 @@
+#include "host/experiment.hh"
+
+namespace hmcsim
+{
+
+TrafficSummary
+MeasurementResult::traffic() const
+{
+    TrafficSummary t;
+    t.rawGBps = rawGBps;
+    t.readPayloadGBps = readPayloadGBps;
+    t.writePayloadGBps = writePayloadGBps;
+    t.readMrps = readMrps;
+    t.writeMrps = writeMrps;
+    return t;
+}
+
+Ac510Config
+makeSystemConfig(const ExperimentConfig &cfg)
+{
+    Ac510Config sys;
+    sys.numPorts = cfg.numPorts;
+    sys.port.mix = cfg.mix;
+    sys.port.requestSize = cfg.requestSize;
+    sys.port.mode = cfg.mode;
+    sys.port.mask = cfg.pattern.mask;
+    sys.port.antiMask = cfg.pattern.antiMask;
+    sys.device = cfg.device;
+    sys.controller = cfg.controller;
+    sys.seed = cfg.seed;
+    return sys;
+}
+
+MeasurementResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    Ac510Module module(makeSystemConfig(cfg));
+    module.start();
+    module.runUntil(cfg.warmup);
+    module.resetPortStats();
+    module.runUntil(cfg.warmup + cfg.measure);
+
+    const GupsPortStats agg = module.aggregateStats();
+    const double seconds = ticksToSeconds(cfg.measure);
+
+    MeasurementResult res;
+    res.patternName = cfg.pattern.name;
+    res.mix = cfg.mix;
+    res.requestSize = cfg.requestSize;
+    res.rawGBps = toGBps(static_cast<double>(agg.rawBytes) / seconds);
+    res.readMrps =
+        static_cast<double>(agg.readsCompleted) / seconds / 1e6;
+    res.writeMrps =
+        static_cast<double>(agg.writesCompleted) / seconds / 1e6;
+    res.mrps = res.readMrps + res.writeMrps;
+    res.readPayloadGBps =
+        toGBps(static_cast<double>(agg.readPayloadBytes) / seconds);
+    res.writePayloadGBps =
+        toGBps(static_cast<double>(agg.writePayloadBytes) / seconds);
+    res.readLatencyNs = agg.readLatencyNs;
+    res.writeLatencyNs = agg.writeLatencyNs;
+    if (agg.readLatencyHistNs.totalSamples() > 0) {
+        res.readLatencyP50Ns = agg.readLatencyHistNs.quantile(0.5);
+        res.readLatencyP99Ns = agg.readLatencyHistNs.quantile(0.99);
+    }
+    return res;
+}
+
+ThermalExperimentResult
+runThermalExperiment(const ExperimentConfig &cfg,
+                     const CoolingConfig &cooling,
+                     const PowerParams &power,
+                     const ThermalParams &thermal)
+{
+    ThermalExperimentResult res;
+    res.measurement = runExperiment(cfg);
+    const PowerModel model(power);
+    res.powerThermal =
+        model.solve(res.measurement.traffic(), cfg.mix, cooling, thermal);
+    return res;
+}
+
+SampleStats
+runStreamExperiment(const StreamExperimentConfig &cfg)
+{
+    SampleStats latencies;
+    for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+        Ac510Config sys;
+        sys.numPorts = 1;
+        sys.port.mix = RequestMix::ReadOnly;
+        sys.port.requestSize = cfg.requestSize;
+        sys.port.mode = AddressingMode::Random;
+        sys.port.mask = cfg.pattern.mask;
+        sys.port.antiMask = cfg.pattern.antiMask;
+        sys.port.requestBudget = cfg.requestsPerStream;
+        sys.device = cfg.device;
+        sys.controller = cfg.controller;
+        sys.seed = cfg.seed + rep * 1000003ULL;
+
+        Ac510Module module(sys);
+        module.start();
+        module.runToCompletion();
+        latencies.merge(module.aggregateStats().readLatencyNs);
+    }
+    return latencies;
+}
+
+} // namespace hmcsim

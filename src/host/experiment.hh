@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Experiment runner: builds an AC-510 system, runs warm-up and
+ * measurement phases, and reports the quantities the paper plots.
+ *
+ * This is the software layer standing in for the Pico API + host
+ * programs of Sec. III-B: it configures ports (type, size, masks,
+ * addressing mode), runs for a fixed interval, then reads access
+ * counts and min/aggregate/max latencies, exactly mirroring the
+ * full-scale / small-scale / stream GUPS methodology.
+ */
+
+#ifndef HMCSIM_HOST_EXPERIMENT_HH
+#define HMCSIM_HOST_EXPERIMENT_HH
+
+#include <string>
+
+#include "gups/patterns.hh"
+#include "host/ac510.hh"
+#include "power/power_model.hh"
+#include "protocol/packet.hh"
+#include "sim/stats.hh"
+
+namespace hmcsim
+{
+
+/** One experiment's configuration. */
+struct ExperimentConfig
+{
+    /** Where traffic may land; default is the whole device. */
+    AccessPattern pattern{"16 vaults", 0, 0, 16, 256};
+    RequestMix mix = RequestMix::ReadOnly;
+    Bytes requestSize = 128;
+    AddressingMode mode = AddressingMode::Random;
+    /** Active ports: 9 = full-scale GUPS, 1..8 = small-scale. */
+    unsigned numPorts = maxGupsPorts;
+    /** Simulated warm-up discarded from the measurement. */
+    Tick warmup = 100 * tickUs;
+    /** Simulated measurement window. The hardware runs 20 s; the
+     *  simulation reaches steady state within microseconds, so a
+     *  1 ms window gives tight statistics in reasonable CPU time. */
+    Tick measure = 1 * tickMs;
+    std::uint64_t seed = 1;
+    /** Optional overrides of the modeled hardware. */
+    HmcDeviceConfig device;
+    ControllerCalibration controller;
+};
+
+/** Measured outcome of one experiment (the paper's plot units). */
+struct MeasurementResult
+{
+    std::string patternName;
+    RequestMix mix;
+    Bytes requestSize;
+    /** Raw bandwidth: request+response bytes incl. header/tail, GB/s
+     *  (the paper's Figs. 6-10, 13, 16-18 y/x axes). */
+    double rawGBps = 0.0;
+    /** Million requests per second, reads + writes (Fig. 8 lines). */
+    double mrps = 0.0;
+    double readMrps = 0.0;
+    double writeMrps = 0.0;
+    double readPayloadGBps = 0.0;
+    double writePayloadGBps = 0.0;
+    /** Read round-trip latency statistics over the window (ns). */
+    SampleStats readLatencyNs;
+    SampleStats writeLatencyNs;
+    /** Tail latency from the binned distribution (ns). */
+    double readLatencyP50Ns = 0.0;
+    double readLatencyP99Ns = 0.0;
+
+    /** Traffic summary for the power/thermal models. */
+    TrafficSummary traffic() const;
+};
+
+/** Build the Ac510 system description an experiment runs on. */
+Ac510Config makeSystemConfig(const ExperimentConfig &cfg);
+
+/** Run a bandwidth/latency experiment. */
+MeasurementResult runExperiment(const ExperimentConfig &cfg);
+
+/** A measurement plus its steady-state power/thermal solution. */
+struct ThermalExperimentResult
+{
+    MeasurementResult measurement;
+    PowerThermalResult powerThermal;
+};
+
+/**
+ * Run an experiment under a cooling configuration and solve the
+ * coupled power/thermal steady state (the paper's 200 s methodology
+ * reaches exactly this fixed point).
+ */
+ThermalExperimentResult runThermalExperiment(
+    const ExperimentConfig &cfg, const CoolingConfig &cooling,
+    const PowerParams &power = PowerParams{},
+    const ThermalParams &thermal = ThermalParams{});
+
+/** Configuration of a stream-GUPS low-load latency experiment. */
+struct StreamExperimentConfig
+{
+    /** Read requests per stream (Fig. 15 x-axis: 2..28). */
+    unsigned requestsPerStream = 2;
+    Bytes requestSize = 128;
+    /** Independent repetitions aggregated into the statistics. */
+    unsigned repetitions = 64;
+    AccessPattern pattern{"16 vaults", 0, 0, 16, 256};
+    std::uint64_t seed = 1;
+    HmcDeviceConfig device;
+    ControllerCalibration controller;
+};
+
+/**
+ * Run a stream-GUPS experiment: issue fixed-size groups of reads from
+ * one port, wait for all responses, and aggregate per-request
+ * latencies (min/avg/max) over the repetitions.
+ */
+SampleStats runStreamExperiment(const StreamExperimentConfig &cfg);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HOST_EXPERIMENT_HH

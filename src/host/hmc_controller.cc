@@ -1,0 +1,195 @@
+#include "host/hmc_controller.hh"
+
+#include <utility>
+
+#include "protocol/fields.hh"
+
+namespace hmcsim
+{
+
+HmcController::HmcController(const ControllerCalibration &cal,
+                             EventQueue &queue, HmcDevice &device,
+                             DeliverFn deliver)
+    : cal(cal), queue(queue), device(device), deliver(std::move(deliver))
+{
+    const LinkConfig tx_cfg = cal.txLinkConfig();
+    const LinkConfig rx_cfg = cal.rxLinkConfig();
+    for (unsigned i = 0; i < cal.numLinks; ++i) {
+        txLinks.push_back(std::make_unique<LinkDirection>(
+            tx_cfg, cal.txPropagation, 0x70000 + i));
+        rxLinks.push_back(std::make_unique<LinkDirection>(
+            rx_cfg, cal.rxPropagation, 0xB0000 + i));
+        if (cal.inputBufferFlits > 0) {
+            tokens.emplace_back(cal.inputBufferFlits);
+            parked.emplace_back();
+        }
+    }
+}
+
+void
+HmcController::submitRequest(Packet &&pkt)
+{
+    ++_stats.requestsSubmitted;
+    const unsigned link = pkt.link % txLinks.size();
+    pkt.link = static_cast<std::uint8_t>(link);
+
+    // The Add-Seq# / Add-CRC stages of Fig. 14: stamp the on-the-wire
+    // header and the tail CRC the cube will verify.
+    pkt.headerBits = encodeRequestHeader(makeRequestHeader(pkt));
+    pkt.tailCrc = packetCrc(pkt, pkt.headerBits);
+
+    // Request flow control (Fig. 14 stage 5): without cube buffer
+    // tokens, the request waits in the controller; the stop signal is
+    // implicit in the parked queue.
+    if (!tokens.empty() && !tokens[link].consume(pkt.reqFlits())) {
+        ++_stats.flowControlStalls;
+        parked[link].push_back(std::move(pkt));
+        return;
+    }
+
+    startTransmit(std::move(pkt));
+}
+
+void
+HmcController::startTransmit(Packet &&pkt)
+{
+    const unsigned link = pkt.link;
+
+    // Fixed TX pipeline, then serialization on the shared wire.
+    const Tick tx_start = queue.now() + cal.txFixedLatency();
+    pkt.tLinkTx = tx_start;
+    _stats.txWireBytes += txLinks[link]->wireBytes(pkt.reqBytes());
+    const Tick arrive = txLinks[link]->transmit(tx_start, pkt.reqBytes());
+
+    queue.schedule(arrive, [this, pkt = std::move(pkt)]() mutable {
+        // The cube decodes, routes, and services the request; it tells
+        // us when the response starts back on the RX wire.
+        const Tick resp_ready = device.handleRequest(pkt, queue.now());
+        const unsigned rx_link = pkt.link % rxLinks.size();
+
+        queue.schedule(resp_ready, [this, pkt, rx_link]() mutable {
+            _stats.rxWireBytes += rxLinks[rx_link]->wireBytes(pkt.respBytes());
+            const Tick at_fpga =
+                rxLinks[rx_link]->transmit(queue.now(), pkt.respBytes());
+            const Tick delivered = at_fpga + cal.rxFixedLatency() +
+                                   cal.rxPerFlit * pkt.respFlits();
+            queue.schedule(delivered, [this, pkt]() mutable {
+                pkt.tResponse = queue.now();
+                ++_stats.responsesDelivered;
+
+                // The response's RTC field returns the request's
+                // input-buffer tokens; that may release parked
+                // requests (deassert the stop signal).
+                if (!tokens.empty()) {
+                    const unsigned rx = pkt.link;
+                    tokens[rx].returnTokens(pkt.reqFlits());
+                    while (!parked[rx].empty() &&
+                           tokens[rx].consume(
+                               parked[rx].front().reqFlits())) {
+                        Packet next = std::move(parked[rx].front());
+                        parked[rx].pop_front();
+                        startTransmit(std::move(next));
+                    }
+                }
+                deliver(pkt);
+            });
+        });
+    });
+}
+
+std::uint64_t
+HmcController::linkRetries() const
+{
+    std::uint64_t total = 0;
+    for (const auto &link : txLinks)
+        total += link->retries();
+    for (const auto &link : rxLinks)
+        total += link->retries();
+    return total;
+}
+
+void
+HmcController::registerStats(StatRegistry &registry,
+                             const StatPath &path) const
+{
+    registry.addValue((path / "requests_submitted").str(),
+                      "requests entering the TX pipeline",
+                      &_stats.requestsSubmitted);
+    registry.addValue((path / "responses_delivered").str(),
+                      "responses handed back to ports",
+                      &_stats.responsesDelivered);
+    registry.addValue((path / "tx_wire_bytes").str(),
+                      "bytes serialized toward the cube",
+                      &_stats.txWireBytes);
+    registry.addValue((path / "rx_wire_bytes").str(),
+                      "bytes deserialized from the cube",
+                      &_stats.rxWireBytes);
+    registry.add((path / "link_retries").str(),
+                 "packets needing link-level retry",
+                 [this] { return static_cast<double>(linkRetries()); });
+    registry.addValue((path / "flow_control_stalls").str(),
+                      "requests parked by the stop signal",
+                      &_stats.flowControlStalls);
+}
+
+std::vector<StageLatency>
+HmcController::txStageBreakdown(Bytes request_bytes) const
+{
+    const double cyc_ns = ticksToNs(cal.fpgaCyclePs);
+    const double wire_ns =
+        (static_cast<double>(request_bytes) +
+         static_cast<double>(cal.txPerPacketOverheadBytes)) /
+        cal.txBytesPerSecondPerLink * 1e9;
+
+    std::vector<StageLatency> stages;
+    stages.push_back({"FlitsToParallel (to-flit buffering)",
+                      cal.flitsToParallelCycles,
+                      cal.flitsToParallelCycles * cyc_ns});
+    stages.push_back({"5:1 round-robin arbiter", cal.arbiterCycles,
+                      cal.arbiterCycles * cyc_ns});
+    stages.push_back({"Add-Seq# / flow control / Add-CRC",
+                      cal.seqFlowCrcCycles, cal.seqFlowCrcCycles * cyc_ns});
+    stages.push_back({"Convert to SerDes protocol",
+                      cal.serdesConvertCycles,
+                      cal.serdesConvertCycles * cyc_ns});
+    stages.push_back({"Serialization + wire occupancy", 0, wire_ns});
+    stages.push_back({"Propagation + cube-side deserialize", 0,
+                      ticksToNs(cal.txPropagation)});
+    return stages;
+}
+
+std::vector<StageLatency>
+HmcController::rxStageBreakdown(Bytes response_bytes) const
+{
+    const double cyc_ns = ticksToNs(cal.fpgaCyclePs);
+    const double wire_ns =
+        (static_cast<double>(response_bytes) +
+         static_cast<double>(cal.rxPerPacketOverheadBytes)) /
+        cal.rxBytesPerSecondPerLink * 1e9;
+    const unsigned flits =
+        static_cast<unsigned>(response_bytes / flitBytes);
+
+    std::vector<StageLatency> stages;
+    stages.push_back({"Cube-side serialize + propagation", 0,
+                      ticksToNs(cal.rxPropagation)});
+    stages.push_back({"Wire occupancy", 0, wire_ns});
+    stages.push_back({"Deserialize / verify CRC + Seq# / route",
+                      cal.rxFixedCycles, cal.rxFixedCycles * cyc_ns});
+    stages.push_back({"Flit reassembly", 0,
+                      ticksToNs(cal.rxPerFlit) * flits});
+    return stages;
+}
+
+double
+HmcController::infrastructureLatencyNs(Bytes request_bytes,
+                                       Bytes response_bytes) const
+{
+    double total = 0.0;
+    for (const auto &s : txStageBreakdown(request_bytes))
+        total += s.ns;
+    for (const auto &s : rxStageBreakdown(response_bytes))
+        total += s.ns;
+    return total;
+}
+
+} // namespace hmcsim

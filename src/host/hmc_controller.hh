@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FPGA-side HMC controller: the TX and RX paths of Fig. 14.
+ *
+ * The controller accepts requests from GUPS ports, runs them through
+ * the fixed TX pipeline (flit conversion, arbitration, sequence
+ * numbers, flow control, CRC, SerDes conversion), serializes them on
+ * the per-link TX wire, hands them to the cube, and symmetrically
+ * returns responses through the RX path.
+ */
+
+#ifndef HMCSIM_HOST_HMC_CONTROLLER_HH
+#define HMCSIM_HOST_HMC_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hmc/device.hh"
+#include "link/flow_control.hh"
+#include "host/calibration.hh"
+#include "link/link.hh"
+#include "protocol/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** One named stage of the TX/RX latency deconstruction (Fig. 14). */
+struct StageLatency
+{
+    std::string name;
+    unsigned cycles; ///< FPGA cycles (0 when not cycle-quantized).
+    double ns;       ///< Latency contribution in nanoseconds.
+};
+
+/** Controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t requestsSubmitted = 0;
+    std::uint64_t responsesDelivered = 0;
+    Bytes txWireBytes = 0;
+    Bytes rxWireBytes = 0;
+    /** Requests parked by the flow-control stop signal. */
+    std::uint64_t flowControlStalls = 0;
+};
+
+/** The controller. */
+class HmcController
+{
+  public:
+    /** Response sink: routes a completed packet to its port. */
+    using DeliverFn = std::function<void(const Packet &)>;
+
+    HmcController(const ControllerCalibration &cal, EventQueue &queue,
+                  HmcDevice &device, DeliverFn deliver);
+
+    /** Submit a request from a GUPS port (starts the TX pipeline). */
+    void submitRequest(Packet &&pkt);
+
+    /**
+     * Per-stage latency breakdown of the TX path for a request of
+     * @p request_bytes (Fig. 14 reproduction; serialization uses the
+     * effective link rate).
+     */
+    std::vector<StageLatency> txStageBreakdown(Bytes request_bytes) const;
+
+    /** Per-stage latency breakdown of the RX path for a response. */
+    std::vector<StageLatency> rxStageBreakdown(Bytes response_bytes) const;
+
+    /** Minimum infrastructure round-trip contribution for a
+     *  transaction (TX + RX, no queuing): the paper's ~547 ns. */
+    double infrastructureLatencyNs(Bytes request_bytes,
+                                   Bytes response_bytes) const;
+
+    const ControllerStats &stats() const { return _stats; }
+    const ControllerCalibration &calibration() const { return cal; }
+
+    /** Total packets that needed a link-level retry (both paths). */
+    std::uint64_t linkRetries() const;
+
+    /** Register controller counters under @p path. */
+    void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+  private:
+    /** Start the TX pipeline for a request (tokens already held). */
+    void startTransmit(Packet &&pkt);
+
+    ControllerCalibration cal;
+    EventQueue &queue;
+    HmcDevice &device;
+    DeliverFn deliver;
+    std::vector<std::unique_ptr<LinkDirection>> txLinks;
+    std::vector<std::unique_ptr<LinkDirection>> rxLinks;
+    /** Per-link cube input-buffer tokens (engaged when configured). */
+    std::vector<TokenFlowControl> tokens;
+    /** Requests parked by the stop signal, per link. */
+    std::vector<std::deque<Packet>> parked;
+    ControllerStats _stats;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HOST_HMC_CONTROLLER_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Link-level flow control and retry machinery (Sec. II-B: "The
+ * header and tail ensure packet integrity and proper flow control").
+ *
+ * Two cooperating mechanisms from the HMC link protocol:
+ *
+ *  - TokenFlowControl: the receiver advertises input-buffer space in
+ *    flits; the transmitter consumes a token per flit sent and gets
+ *    tokens back via the RTC field of returning packets' tails. When
+ *    tokens run out the transmitter must pause -- this is the "stop
+ *    signal" of the controller's request flow-control unit (Fig. 14).
+ *
+ *  - RetryBuffer: every transmitted packet is held, sequence-
+ *    numbered, until the far end acknowledges it via the FRP/RRP
+ *    retry pointers. A CRC error triggers retransmission of
+ *    everything from the failed packet onward (go-back-N), preserving
+ *    order without data loss.
+ */
+
+#ifndef HMCSIM_LINK_FLOW_CONTROL_HH
+#define HMCSIM_LINK_FLOW_CONTROL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Credit-based flow control in flit units. */
+class TokenFlowControl
+{
+  public:
+    /** @param buffer_flits Receiver input-buffer capacity. */
+    explicit TokenFlowControl(unsigned buffer_flits)
+        : capacity(buffer_flits), available(buffer_flits)
+    {
+    }
+
+    /** Tokens currently available to the transmitter. */
+    unsigned tokens() const { return available; }
+    unsigned bufferCapacity() const { return capacity; }
+
+    /** Can a packet of @p flits be sent right now? */
+    bool canSend(unsigned flits) const { return flits <= available; }
+
+    /**
+     * Consume tokens for a transmitted packet.
+     * @return false (and consume nothing) when insufficient -- the
+     *         caller must assert its stop signal.
+     */
+    bool
+    consume(unsigned flits)
+    {
+        if (!canSend(flits))
+            return false;
+        available -= flits;
+        return true;
+    }
+
+    /** Return tokens announced by a received packet's RTC field. */
+    void
+    returnTokens(unsigned flits)
+    {
+        HMCSIM_ASSERT(available + flits <= capacity,
+                      "token return exceeds buffer capacity");
+        available += flits;
+    }
+
+    /** True when the transmitter is blocked for a min-size packet. */
+    bool stopped() const { return available == 0; }
+
+  private:
+    unsigned capacity;
+    unsigned available;
+};
+
+/** One packet held for possible retransmission. */
+struct RetryEntry
+{
+    std::uint64_t packetId;
+    std::uint8_t seq;    ///< 3-bit sequence number.
+    unsigned flits;
+};
+
+/**
+ * Go-back-N retry buffer with 3-bit sequence numbers and 8-bit retry
+ * pointers, as carried in the packet tail.
+ */
+class RetryBuffer
+{
+  public:
+    /** @param depth Maximum unacknowledged packets (< 256). */
+    explicit RetryBuffer(unsigned depth = 32) : depth(depth)
+    {
+        if (depth == 0 || depth >= 256)
+            fatal("retry buffer depth must be 1..255");
+    }
+
+    /** True when another packet can be transmitted. */
+    bool hasSpace() const { return entries.size() < depth; }
+
+    /** Unacknowledged packets currently held. */
+    std::size_t occupancy() const { return entries.size(); }
+
+    /**
+     * Record a transmitted packet.
+     * @return The sequence number to stamp into its tail.
+     */
+    std::uint8_t
+    push(std::uint64_t packet_id, unsigned flits)
+    {
+        HMCSIM_ASSERT(hasSpace(), "retry buffer overflow");
+        const std::uint8_t seq = nextSeq;
+        nextSeq = static_cast<std::uint8_t>((nextSeq + 1) & 0x7);
+        entries.push_back({packet_id, seq, flits});
+        const std::uint8_t frp = nextPointer;
+        nextPointer = static_cast<std::uint8_t>(nextPointer + 1);
+        pointers.push_back(frp);
+        return seq;
+    }
+
+    /** Retry pointer of the most recently pushed packet (FRP). */
+    std::uint8_t
+    lastPointer() const
+    {
+        HMCSIM_ASSERT(!pointers.empty(), "no packets in flight");
+        return pointers.back();
+    }
+
+    /**
+     * Acknowledge everything up to and including retry pointer
+     * @p rrp (carried in a returning packet's tail).
+     * @return Number of packets released.
+     */
+    unsigned
+    acknowledge(std::uint8_t rrp)
+    {
+        unsigned released = 0;
+        while (!pointers.empty()) {
+            const std::uint8_t front = pointers.front();
+            // Wrap-aware "front <= rrp" on 8-bit circular space.
+            const std::uint8_t distance =
+                static_cast<std::uint8_t>(rrp - front);
+            if (distance < 128) {
+                pointers.pop_front();
+                entries.pop_front();
+                ++released;
+            } else {
+                break;
+            }
+        }
+        return released;
+    }
+
+    /**
+     * A CRC error was detected at the receiver on sequence @p seq:
+     * everything from that packet onward must be resent, in order.
+     * @return The retransmission list (oldest first).
+     */
+    std::vector<RetryEntry>
+    retryFrom(std::uint8_t seq)
+    {
+        std::vector<RetryEntry> replay;
+        bool found = false;
+        for (const RetryEntry &entry : entries) {
+            found = found || entry.seq == seq;
+            if (found)
+                replay.push_back(entry);
+        }
+        HMCSIM_ASSERT(found || entries.empty(),
+                      "retry for unknown sequence number");
+        numRetries += replay.size();
+        return replay;
+    }
+
+    /** Total packets ever retransmitted. */
+    std::uint64_t retransmissions() const { return numRetries; }
+
+  private:
+    unsigned depth;
+    std::uint8_t nextSeq = 0;
+    std::uint8_t nextPointer = 0;
+    std::deque<RetryEntry> entries;
+    std::deque<std::uint8_t> pointers;
+    std::uint64_t numRetries = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_LINK_FLOW_CONTROL_HH

@@ -1,0 +1,81 @@
+#include "link/link.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+ThroughputRegulator::ThroughputRegulator(double bytes_per_second)
+    : psPerByte(1e12 / bytes_per_second)
+{
+    if (bytes_per_second <= 0.0)
+        fatal("ThroughputRegulator rate must be positive");
+}
+
+Tick
+ThroughputRegulator::admit(Tick ready, double bytes)
+{
+    const double start = std::max(static_cast<double>(ready), busyUntil);
+    const double service = bytes * psPerByte;
+    busyUntil = start + service;
+    _busyTime += service;
+    return static_cast<Tick>(busyUntil);
+}
+
+void
+ThroughputRegulator::reset()
+{
+    busyUntil = 0.0;
+    _busyTime = 0.0;
+}
+
+LinkDirection::LinkDirection(const LinkConfig &cfg, Tick propagation_delay,
+                             std::uint64_t seed)
+    : cfg(cfg),
+      wire(cfg.effectiveLinkBytesPerSecond()),
+      propagation(propagation_delay),
+      overhead(cfg.perPacketOverheadBytes),
+      rng(seed)
+{
+}
+
+bool
+LinkDirection::corrupted(Bytes packet_bytes)
+{
+    if (cfg.bitErrorRate <= 0.0)
+        return false;
+    // Probability any of the packet's bits flips.
+    const double bits = static_cast<double>(wireBytes(packet_bytes)) * 8.0;
+    const double p_err = 1.0 - std::pow(1.0 - cfg.bitErrorRate, bits);
+    return rng.nextDouble() < p_err;
+}
+
+Tick
+LinkDirection::transmit(Tick ready, Bytes packet_bytes)
+{
+    const double bytes = static_cast<double>(wireBytes(packet_bytes));
+    Tick done = wire.admit(ready, bytes);
+    bool retried = false;
+    // Link-level retry: a CRC failure at the receiver triggers a
+    // resend from the retry buffer. Bounded only by the (vanishing)
+    // probability of repeated corruption.
+    while (corrupted(packet_bytes)) {
+        retried = true;
+        done = wire.admit(done + cfg.retryTurnaround, bytes);
+    }
+    if (retried)
+        ++numRetries;
+    return done + propagation;
+}
+
+void
+LinkDirection::reset()
+{
+    wire.reset();
+    numRetries = 0;
+}
+
+} // namespace hmcsim

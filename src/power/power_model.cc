@@ -1,0 +1,136 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+PowerModel::PowerModel(const PowerParams &params) : _params(params)
+{
+}
+
+double
+PowerModel::hmcDynamicPower(const TrafficSummary &traffic) const
+{
+    const PowerParams &p = _params;
+    double power = 0.0;
+    power += p.linkPerGBps * traffic.rawGBps;
+    power += p.readPerGBps * traffic.readPayloadGBps;
+    power += p.readPerMrps * traffic.readMrps;
+    power += p.writePerGBps * traffic.writePayloadGBps;
+    if (traffic.writePayloadGBps > 0.0) {
+        power += p.writeNonlinearCoeff *
+                 std::pow(traffic.writePayloadGBps,
+                          p.writeNonlinearExponent);
+    }
+    return power;
+}
+
+PowerThermalResult
+PowerModel::solve(const TrafficSummary &traffic, RequestMix mix,
+                  const CoolingConfig &cooling,
+                  const ThermalParams &thermal) const
+{
+    const double dynamic = hmcDynamicPower(traffic);
+    const ThermalModel model(cooling, thermal);
+    const ThermalResult t = model.steadyState(dynamic, mix);
+
+    // Wall-meter leakage: grows with absolute temperature (the
+    // power/temperature coupling of Fig. 10), referenced to the
+    // strongest-cooling idle point.
+    const double metered_leak =
+        std::max(0.0, thermal.leakagePerDegC *
+                          (t.temperatureC - thermal.globalLeakageRefC));
+
+    PowerThermalResult res;
+    res.hmcDynamicW = dynamic;
+    res.leakageW = metered_leak;
+    res.systemW = _params.systemIdleW + _params.fpgaActiveW + dynamic +
+                  metered_leak;
+    res.temperatureC = t.temperatureC;
+    res.failure = t.failure;
+    return res;
+}
+
+double
+PowerModel::linkSleepSavings(double duty_cycle,
+                             unsigned num_links) const
+{
+    const double idle = std::clamp(1.0 - duty_cycle, 0.0, 1.0);
+    return _params.linkStandbyW * num_links * idle *
+           (1.0 - _params.linkSleepFraction);
+}
+
+CoolingConfig
+interpolateCooling(double cooling_power_w)
+{
+    // Table III rows ordered by decreasing cooling power (Cfg1..Cfg4).
+    const auto &cfgs = coolingConfigs();
+    const double hi = cfgs.front().coolingPowerW;
+    const double lo = cfgs.back().coolingPowerW;
+    const double w = std::clamp(cooling_power_w, lo - 2.0, hi + 4.0);
+
+    // Find the bracketing pair (piecewise linear in cooling power).
+    std::size_t upper = 0;
+    while (upper + 2 < cfgs.size() &&
+           w < cfgs[upper + 1].coolingPowerW) {
+        ++upper;
+    }
+    const CoolingConfig &a = cfgs[upper];     // stronger cooling
+    const CoolingConfig &b = cfgs[upper + 1]; // weaker cooling
+    const double span = a.coolingPowerW - b.coolingPowerW;
+    const double f = span > 0.0 ? (w - b.coolingPowerW) / span : 0.0;
+
+    CoolingConfig out;
+    out.name = "interp";
+    out.coolingPowerW = w;
+    out.fanVoltage = b.fanVoltage + f * (a.fanVoltage - b.fanVoltage);
+    out.fanCurrent = b.fanCurrent + f * (a.fanCurrent - b.fanCurrent);
+    out.fanDistanceCm =
+        b.fanDistanceCm + f * (a.fanDistanceCm - b.fanDistanceCm);
+    out.idleTemperatureC =
+        b.idleTemperatureC + f * (a.idleTemperatureC - b.idleTemperatureC);
+    out.thermalResistance =
+        b.thermalResistance + f * (a.thermalResistance - b.thermalResistance);
+    // Keep extrapolated values physical.
+    out.thermalResistance = std::max(0.1, out.thermalResistance);
+    out.idleTemperatureC = std::max(25.0, out.idleTemperatureC);
+    return out;
+}
+
+double
+PowerModel::requiredCoolingPower(const TrafficSummary &traffic,
+                                 double target_temp_c,
+                                 const ThermalParams &thermal) const
+{
+    const double dynamic = hmcDynamicPower(traffic);
+
+    auto temperature_at = [&](double w) {
+        const ThermalModel model(interpolateCooling(w), thermal);
+        // The iso-temperature lines of Fig. 12 are drawn irrespective
+        // of the failure bound, so use the read limit here.
+        return model.steadyState(dynamic, RequestMix::ReadOnly)
+            .temperatureC;
+    };
+
+    double lo = 8.0;   // weakest cooling considered
+    double hi = 24.0;  // strongest cooling considered
+    if (temperature_at(hi) > target_temp_c)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (temperature_at(lo) <= target_temp_c)
+        return lo;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (temperature_at(mid) > target_temp_c)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace hmcsim

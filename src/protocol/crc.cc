@@ -1,0 +1,68 @@
+#include "protocol/crc.hh"
+
+#include <array>
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** Reflect the 32-bit polynomial for LSB-first table generation. */
+constexpr std::uint32_t
+reflect32(std::uint32_t v)
+{
+    std::uint32_t r = 0;
+    for (int i = 0; i < 32; ++i) {
+        r = (r << 1) | (v & 1u);
+        v >>= 1;
+    }
+    return r;
+}
+
+constexpr std::uint32_t reflectedPoly = reflect32(hmcCrcPolynomial);
+
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? reflectedPoly : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto crcTable = makeTable();
+
+} // namespace
+
+Crc32::Crc32() : state(~0u)
+{
+}
+
+void
+Crc32::update(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        state = (state >> 8) ^ crcTable[(state ^ bytes[i]) & 0xFFu];
+}
+
+void
+Crc32::reset()
+{
+    state = ~0u;
+}
+
+std::uint32_t
+Crc32::compute(const void *data, std::size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+} // namespace hmcsim

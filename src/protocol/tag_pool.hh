@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Read tag pool, modeling the 64-deep "Rd. Tag Pool" inside each GUPS
+ * port (Fig. 4b). A port may not issue a read while no tag is free;
+ * the pool is therefore the mechanism that bounds per-port outstanding
+ * reads and, via Little's law, sets high-load latency (Sec. IV-E3).
+ */
+
+#ifndef HMCSIM_PROTOCOL_TAG_POOL_HH
+#define HMCSIM_PROTOCOL_TAG_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+/** Fixed-capacity allocator of small integer tags. */
+class TagPool
+{
+  public:
+    /** @param depth Number of tags; the AC-510 GUPS uses 64. */
+    explicit TagPool(unsigned depth) : depth(depth)
+    {
+        free.reserve(depth);
+        for (unsigned i = 0; i < depth; ++i)
+            free.push_back(static_cast<std::uint16_t>(depth - 1 - i));
+    }
+
+    /** True when at least one tag is available. */
+    bool available() const { return !free.empty(); }
+
+    /** Number of tags currently allocated. */
+    unsigned inUse() const
+    {
+        return depth - static_cast<unsigned>(free.size());
+    }
+
+    /** Total capacity. */
+    unsigned capacity() const { return depth; }
+
+    /** Allocate a tag; caller must check available() first. */
+    std::uint16_t
+    allocate()
+    {
+        HMCSIM_ASSERT(!free.empty(), "tag pool exhausted");
+        const std::uint16_t tag = free.back();
+        free.pop_back();
+        return tag;
+    }
+
+    /** Return a tag to the pool. */
+    void
+    release(std::uint16_t tag)
+    {
+        HMCSIM_ASSERT(tag < depth, "tag out of range");
+        HMCSIM_ASSERT(free.size() < depth, "double release");
+        free.push_back(tag);
+    }
+
+  private:
+    unsigned depth;
+    std::vector<std::uint16_t> free;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_PROTOCOL_TAG_POOL_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clock-domain helper.
+ *
+ * Components in the modeled system run in different clock domains:
+ * the FPGA user logic at 187.5 MHz, vault controllers at an internal
+ * DRAM-side clock, and the SerDes lanes at multi-GHz bit clocks. A
+ * ClockDomain converts between cycles and ticks, rounding edges the way
+ * real synchronizers do (up to the next edge).
+ */
+
+#ifndef HMCSIM_SIM_CLOCKED_HH
+#define HMCSIM_SIM_CLOCKED_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** A fixed-frequency clock described by its period in ticks. */
+class ClockDomain
+{
+  public:
+    /**
+     * @param period_ps Clock period in picoseconds; must be non-zero.
+     */
+    explicit ClockDomain(Tick period_ps) : _period(period_ps)
+    {
+        if (_period == 0)
+            fatal("ClockDomain period must be non-zero");
+    }
+
+    /** Construct from a frequency in Hz (rounds the period). */
+    static ClockDomain
+    fromFrequencyHz(double hz)
+    {
+        if (hz <= 0.0)
+            fatal("ClockDomain frequency must be positive");
+        return ClockDomain(static_cast<Tick>(1e12 / hz + 0.5));
+    }
+
+    /** Clock period in ticks. */
+    Tick period() const { return _period; }
+
+    /** Frequency in Hz. */
+    double
+    frequencyHz() const
+    {
+        return 1e12 / static_cast<double>(_period);
+    }
+
+    /** Duration of @p n cycles in ticks. */
+    Tick cycles(std::uint64_t n) const { return _period * n; }
+
+    /** Number of whole cycles elapsed by tick @p t. */
+    std::uint64_t cycleCount(Tick t) const { return t / _period; }
+
+    /**
+     * The next clock edge at or after @p t.
+     * A component receiving data mid-cycle acts on it at this edge.
+     */
+    Tick
+    nextEdgeAtOrAfter(Tick t) const
+    {
+        const Tick rem = t % _period;
+        return rem == 0 ? t : t + (_period - rem);
+    }
+
+  private:
+    Tick _period;
+};
+
+/** The AC-510's Kintex UltraScale user clock: 187.5 MHz. */
+inline ClockDomain
+fpgaClock()
+{
+    // 187.5 MHz -> 5333.33.. ps. Round to 5333 ps; the 0.006% error is
+    // far below the model's fidelity and keeps ticks integral.
+    return ClockDomain(5333);
+}
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_CLOCKED_HH

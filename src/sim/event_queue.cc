@@ -1,0 +1,63 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (when < _now)
+        panic("scheduling event in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    heap.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is the
+    // standard idiom here and safe because we pop immediately.
+    Entry entry = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    _now = entry.when;
+    ++numExecuted;
+    entry.fn();
+    return true;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap.empty() && heap.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    if (_now < limit)
+        _now = limit;
+    return _now;
+}
+
+void
+EventQueue::runToCompletion()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::reset()
+{
+    heap = {};
+    _now = 0;
+    nextSeq = 0;
+    numExecuted = 0;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The EventQueue is a classic calendar of (tick, sequence, callback)
+ * entries executed in non-decreasing tick order. Events scheduled at the
+ * same tick execute in scheduling order (FIFO), which keeps component
+ * pipelines deterministic.
+ */
+
+#ifndef HMCSIM_SIM_EVENT_QUEUE_HH
+#define HMCSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A discrete-event queue with a monotonically advancing current time.
+ *
+ * Not thread safe; one queue per simulated system.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** Total number of events ever executed. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when Absolute time; must be >= now().
+     * @param fn Callback to run.
+     */
+    void schedule(Tick when, EventFn fn);
+
+    /** Schedule a callback @p delta ticks in the future. */
+    void scheduleIn(Tick delta, EventFn fn) { schedule(_now + delta, fn); }
+
+    /**
+     * Execute the single next event (advancing time to it).
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or time would exceed @p limit.
+     * Events exactly at @p limit are executed.
+     * @return Tick at which execution stopped.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Run until no events remain. */
+    void runToCompletion();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_EVENT_QUEUE_HH

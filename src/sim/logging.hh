@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  - internal simulator invariant violated; aborts.
+ * fatal()  - user/configuration error; exits with status 1.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - plain status message.
+ */
+
+#ifndef HMCSIM_SIM_LOGGING_HH
+#define HMCSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hmcsim
+{
+
+/** Abort the process after printing a printf-style message. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) after printing a printf-style message. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/**
+ * Lightweight assert that stays active in release builds.
+ * Use for simulator invariants on non-hot paths.
+ */
+#define HMCSIM_ASSERT(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::hmcsim::panic("assertion failed: %s (%s:%d): %s", #cond,    \
+                            __FILE__, __LINE__, msg);                     \
+    } while (0)
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_LOGGING_HH

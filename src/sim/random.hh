@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Experiments must be reproducible run-to-run, so every stochastic
+ * component owns an Xoshiro256StarStar generator seeded from the
+ * experiment seed via SplitMix64. This mirrors the per-port LFSRs the
+ * GUPS Verilog uses for random addressing.
+ */
+
+#ifndef HMCSIM_SIM_RANDOM_HH
+#define HMCSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace hmcsim
+{
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    explicit Xoshiro256StarStar(std::uint64_t seed = 0x1ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : s)
+            word = splitMix64(sm);
+    }
+
+    /** Next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        __uint128_t m =
+            static_cast<__uint128_t>(next()) * static_cast<__uint128_t>(bound);
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                m = static_cast<__uint128_t>(next()) *
+                    static_cast<__uint128_t>(bound);
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_RANDOM_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Named-statistics registry, in the spirit of gem5's stats package.
+ *
+ * Components register scalar statistics (values or callbacks) under
+ * hierarchical names ("system.hmc.vault3.reads"); the registry dumps
+ * them as aligned text or CSV. Benches and tools use this to expose
+ * every counter in the simulated system without bespoke plumbing.
+ */
+
+#ifndef HMCSIM_SIM_STAT_REGISTRY_HH
+#define HMCSIM_SIM_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hmcsim
+{
+
+/** Callback producing the current value of a statistic. */
+using StatFn = std::function<double()>;
+
+/** One registered statistic. */
+struct StatEntry
+{
+    std::string name;
+    std::string description;
+    StatFn value;
+};
+
+/**
+ * A flat registry of named statistics with hierarchical dotted names.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /**
+     * Register a statistic.
+     * @param name Dotted hierarchical name; must be unique.
+     * @param description One-line meaning.
+     * @param value Callback returning the current value.
+     */
+    void add(std::string name, std::string description, StatFn value);
+
+    /** Register a statistic bound to a variable's current value. */
+    template <typename T>
+    void
+    addValue(std::string name, std::string description, const T *var)
+    {
+        add(std::move(name), std::move(description),
+            [var] { return static_cast<double>(*var); });
+    }
+
+    /** Number of registered statistics. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Look up the current value of a statistic by exact name.
+     *  Fatal when the name is unknown. */
+    double value(const std::string &name) const;
+
+    /** True if a statistic with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** All entries whose name starts with @p prefix. */
+    std::vector<const StatEntry *>
+    matching(const std::string &prefix) const;
+
+    /** Dump as aligned "name value # description" lines, sorted. */
+    std::string dumpText() const;
+
+    /** Dump as "name,value" CSV with a header row, sorted. */
+    std::string dumpCsv() const;
+
+    /** Remove all entries. */
+    void clear() { entries.clear(); }
+
+  private:
+    std::vector<StatEntry> entries;
+};
+
+/**
+ * Scoped name builder: makes "system.hmc" + "vault3" + "reads" style
+ * composition readable at registration sites.
+ */
+class StatPath
+{
+  public:
+    explicit StatPath(std::string base) : path(std::move(base)) {}
+
+    /** Child path. */
+    StatPath
+    operator/(const std::string &component) const
+    {
+        return StatPath(path.empty() ? component
+                                     : path + "." + component);
+    }
+
+    const std::string &str() const { return path; }
+
+  private:
+    std::string path;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_STAT_REGISTRY_HH

@@ -1,0 +1,122 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+void
+SampleStats::merge(const SampleStats &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    const double delta = other.welfordMean - welfordMean;
+    const auto na = static_cast<double>(_count);
+    const auto nb = static_cast<double>(other._count);
+    const double n = na + nb;
+    welfordMean += delta * nb / n;
+    welfordM2 += other.welfordM2 + delta * delta * na * nb / n;
+    _count += other._count;
+    _sum += other._sum;
+    if (other._min < _min)
+        _min = other._min;
+    if (other._max > _max)
+        _max = other._max;
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo(lo), hi(hi),
+      width((hi - lo) / static_cast<double>(num_bins)),
+      bins(num_bins, 0)
+{
+    if (num_bins == 0)
+        fatal("Histogram needs at least one bin");
+    if (hi <= lo)
+        fatal("Histogram range must be non-empty");
+}
+
+void
+Histogram::sample(double value)
+{
+    ++total;
+    if (value < lo) {
+        ++_underflow;
+    } else if (value >= hi) {
+        ++_overflow;
+    } else {
+        auto bin = static_cast<std::size_t>((value - lo) / width);
+        if (bin >= bins.size())
+            bin = bins.size() - 1; // floating point edge
+        ++bins[bin];
+    }
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (bins.size() != other.bins.size() || lo != other.lo ||
+        hi != other.hi)
+        fatal("merging histograms with different binning");
+    for (std::size_t i = 0; i < bins.size(); ++i)
+        bins[i] += other.bins[i];
+    _underflow += other._underflow;
+    _overflow += other._overflow;
+    total += other.total;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bin : bins)
+        bin = 0;
+    _underflow = 0;
+    _overflow = 0;
+    total = 0;
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    return lo + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(p * static_cast<double>(total));
+    std::uint64_t seen = _underflow;
+    if (seen > target)
+        return lo;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        seen += bins[i];
+        if (seen > target)
+            return binCenter(i);
+    }
+    return hi;
+}
+
+double
+BandwidthMeter::gbps() const
+{
+    if (stopTick <= startTick)
+        return 0.0;
+    return toGBps(bytesPerSecond(bytes, stopTick - startTick));
+}
+
+} // namespace hmcsim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Statistics primitives used by monitoring units and benches.
+ */
+
+#ifndef HMCSIM_SIM_STATS_HH
+#define HMCSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/**
+ * Running sample statistics: count, sum, min, max, mean, variance.
+ * Variance uses Welford's online algorithm for numerical stability.
+ */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double value)
+    {
+        ++_count;
+        _sum += value;
+        if (value < _min)
+            _min = value;
+        if (value > _max)
+            _max = value;
+        const double delta = value - welfordMean;
+        welfordMean += delta / static_cast<double>(_count);
+        welfordM2 += delta * (value - welfordMean);
+    }
+
+    /** Merge another accumulator into this one. */
+    void merge(const SampleStats &other);
+
+    /** Remove all samples. */
+    void
+    reset()
+    {
+        *this = SampleStats();
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    /** Minimum sample, or 0 when empty. */
+    double min() const { return _count ? _min : 0.0; }
+    /** Maximum sample, or 0 when empty. */
+    double max() const { return _count ? _max : 0.0; }
+    /** Arithmetic mean, or 0 when empty. */
+    double
+    mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+    /** Population variance, or 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return _count > 1 ? welfordM2 / static_cast<double>(_count) : 0.0;
+    }
+    double stddev() const;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+    double welfordMean = 0.0;
+    double welfordM2 = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi); out-of-range samples land in
+ * saturating underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the tracked range.
+     * @param hi Exclusive upper bound; must exceed @p lo.
+     * @param num_bins Number of equal-width bins; must be non-zero.
+     */
+    Histogram(double lo, double hi, std::size_t num_bins);
+
+    void sample(double value);
+    void reset();
+
+    /** Merge another histogram with identical binning. */
+    void merge(const Histogram &other);
+
+    std::uint64_t binCount(std::size_t bin) const { return bins.at(bin); }
+    std::size_t numBins() const { return bins.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t totalSamples() const { return total; }
+    /** Center value of a bin. */
+    double binCenter(std::size_t bin) const;
+    /** Approximate p-quantile (0..1) from bin centers. */
+    double quantile(double p) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * Bytes-moved accumulator with start/stop windows; converts to GB/s.
+ * Used for measuring bandwidth over the measurement phase only.
+ */
+class BandwidthMeter
+{
+  public:
+    /** Begin a measurement window at @p now, discarding prior counts. */
+    void
+    start(Tick now)
+    {
+        startTick = now;
+        bytes = 0;
+        running = true;
+    }
+
+    /** End the measurement window at @p now. */
+    void
+    stop(Tick now)
+    {
+        stopTick = now;
+        running = false;
+    }
+
+    /** Account @p n bytes if the window is open. */
+    void
+    add(Bytes n)
+    {
+        if (running)
+            bytes += n;
+    }
+
+    Bytes totalBytes() const { return bytes; }
+    Tick elapsed() const { return stopTick - startTick; }
+    /** Average throughput over the window in GB/s. */
+    double gbps() const;
+
+  private:
+    Tick startTick = 0;
+    Tick stopTick = 0;
+    Bytes bytes = 0;
+    bool running = false;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_STATS_HH

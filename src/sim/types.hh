@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The simulator counts time in integer picoseconds ("ticks"). A
+ * picosecond base lets us represent every clock in the modeled system
+ * exactly: the 187.5 MHz FPGA user clock (5,333.33.. ps is *not* exact,
+ * so that domain uses a 3-tick-per-16ns convention, see ClockDomain),
+ * 15 Gbps SerDes bit times (66.67 ps), and DRAM timing parameters.
+ */
+
+#ifndef HMCSIM_SIM_TYPES_HH
+#define HMCSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace hmcsim
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference. */
+using TickDelta = std::int64_t;
+
+/** One picosecond. */
+constexpr Tick tickPs = 1;
+/** Ticks per nanosecond. */
+constexpr Tick tickNs = 1000;
+/** Ticks per microsecond. */
+constexpr Tick tickUs = 1000 * 1000;
+/** Ticks per millisecond. */
+constexpr Tick tickMs = 1000ULL * 1000 * 1000;
+/** Ticks per second. */
+constexpr Tick tickS = 1000ULL * 1000 * 1000 * 1000;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert ticks to (double) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickNs);
+}
+
+/** Convert ticks to (double) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickUs);
+}
+
+/** Convert ticks to (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickS);
+}
+
+/** Convert a floating point nanosecond value to ticks (rounded). */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickNs) + 0.5);
+}
+
+/** Physical memory address within the cube (34-bit field in HMC). */
+using Addr = std::uint64_t;
+
+/** Bytes. */
+using Bytes = std::uint64_t;
+
+constexpr Bytes kib = 1024;
+constexpr Bytes mib = 1024 * kib;
+constexpr Bytes gib = 1024 * mib;
+
+/**
+ * Compute bytes/second from an amount moved over a tick interval.
+ *
+ * @param bytes Amount of data moved.
+ * @param interval Elapsed simulated time; must be non-zero.
+ * @return Throughput in bytes per second.
+ */
+constexpr double
+bytesPerSecond(Bytes bytes, Tick interval)
+{
+    return static_cast<double>(bytes) / ticksToSeconds(interval);
+}
+
+/** Bytes/second expressed in GB/s (decimal gigabytes, as the paper). */
+constexpr double
+toGBps(double bytes_per_second)
+{
+    return bytes_per_second / 1e9;
+}
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_TYPES_HH

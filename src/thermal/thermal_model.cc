@@ -1,0 +1,78 @@
+#include "thermal/thermal_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+ThermalModel::ThermalModel(const CoolingConfig &cooling,
+                           const ThermalParams &params)
+    : _cooling(cooling), _params(params)
+{
+    // The closed-form steady state requires the leakage feedback loop
+    // gain R_th * k_leak to stay below one (thermal runaway otherwise).
+    if (_cooling.thermalResistance * _params.leakagePerDegC >= 1.0)
+        fatal("thermal model unstable: R_th * k_leak >= 1");
+}
+
+double
+ThermalModel::leakagePower(double temperature_c) const
+{
+    return std::max(0.0, _params.leakagePerDegC *
+                             (temperature_c -
+                              _cooling.idleTemperatureC));
+}
+
+double
+ThermalModel::temperatureLimit(RequestMix mix)
+{
+    return mix == RequestMix::ReadOnly ? readTemperatureLimitC
+                                       : writeTemperatureLimitC;
+}
+
+ThermalResult
+ThermalModel::steadyState(double dynamic_power_w, RequestMix mix) const
+{
+    const double r = _cooling.thermalResistance;
+    const double k = _params.leakagePerDegC;
+    const double t0 = _cooling.idleTemperatureC;
+
+    // T = T0 + R (P + k (T - T0))  =>  T = T0 + R P / (1 - R k),
+    // valid while T >= T0; otherwise leakage clamps to zero.
+    double t = t0 + r * dynamic_power_w / (1.0 - r * k);
+    if (t < t0)
+        t = t0 + r * dynamic_power_w;
+
+    ThermalResult res;
+    res.temperatureC = t;
+    res.leakagePowerW = leakagePower(t);
+    res.limitC = temperatureLimit(mix);
+    res.failure = t > res.limitC;
+    return res;
+}
+
+double
+ThermalModel::step(double temperature_c, double dynamic_power_w,
+                   double dt_seconds) const
+{
+    const double r = _cooling.thermalResistance;
+    const double c = _params.capacitance;
+    // Sub-step at tau/20 for explicit-Euler stability.
+    const double tau = r * c;
+    const double h = std::min(dt_seconds, tau / 20.0);
+    double t = temperature_c;
+    double remaining = dt_seconds;
+    while (remaining > 0.0) {
+        const double dt = std::min(h, remaining);
+        const double p = dynamic_power_w + leakagePower(t);
+        const double dTdt = (p - (t - _cooling.idleTemperatureC) / r) / c;
+        t += dTdt * dt;
+        remaining -= dt;
+    }
+    return t;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the DDR baseline channel and the analysis helpers
+ * (regression, Little's law, knee detection, table formatting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/regression.hh"
+#include "analysis/table.hh"
+#include "baseline/ddr_channel.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+// ---- DDR channel ------------------------------------------------------
+
+TEST(DdrChannel, LinearTrafficHitsRows)
+{
+    const DdrChannelConfig cfg;
+    const DdrMeasurement m = measureDdrPattern(cfg, true, 64, 8, 20000);
+    // 1 KB rows, 64 B requests: 15 of 16 accesses hit.
+    EXPECT_GT(m.rowHitRate, 0.85);
+}
+
+TEST(DdrChannel, RandomTrafficMissesRows)
+{
+    const DdrChannelConfig cfg;
+    const DdrMeasurement m = measureDdrPattern(cfg, false, 64, 8, 20000);
+    EXPECT_LT(m.rowHitRate, 0.05);
+}
+
+TEST(DdrChannel, LinearBeatsRandomAtModestConcurrency)
+{
+    const DdrChannelConfig cfg;
+    const DdrMeasurement lin = measureDdrPattern(cfg, true, 64, 8, 50000);
+    const DdrMeasurement rnd =
+        measureDdrPattern(cfg, false, 64, 8, 50000);
+    EXPECT_GT(lin.gbps, rnd.gbps);
+    EXPECT_LT(lin.avgLatencyNs, rnd.avgLatencyNs);
+}
+
+TEST(DdrChannel, ClosedPagePolicyRemovesTheLinearAdvantage)
+{
+    DdrChannelConfig cfg;
+    cfg.policy = PagePolicy::Closed;
+    const DdrMeasurement lin = measureDdrPattern(cfg, true, 64, 8, 30000);
+    const DdrMeasurement rnd =
+        measureDdrPattern(cfg, false, 64, 8, 30000);
+    EXPECT_DOUBLE_EQ(lin.rowHitRate, 0.0);
+    // Linear no longer wins big; random's bank spread can even win.
+    EXPECT_LT(lin.gbps / rnd.gbps, 1.15);
+}
+
+TEST(DdrChannel, BandwidthBoundedByBus)
+{
+    DdrChannelConfig cfg;
+    const DdrMeasurement m = measureDdrPattern(cfg, true, 64, 64, 50000);
+    EXPECT_LE(m.gbps, cfg.busBytesPerSecond / 1e9 * 1.01);
+}
+
+TEST(DdrChannel, TfawCapsRandomActivationRate)
+{
+    // Random 64 B misses need one ACT each: the 4-per-30ns window
+    // caps the channel near 133 MRPS x 64 B = 8.5 GB/s even though
+    // the bus could carry 19.2.
+    const DdrChannelConfig cfg;
+    const DdrMeasurement m =
+        measureDdrPattern(cfg, false, 64, 64, 100000);
+    EXPECT_LT(m.gbps, 9.0);
+    EXPECT_GT(m.gbps, 7.5);
+    // Row hits do not activate: linear traffic still reaches the bus.
+    const DdrMeasurement lin =
+        measureDdrPattern(cfg, true, 64, 64, 100000);
+    EXPECT_GT(lin.gbps, 18.0);
+}
+
+TEST(DdrChannel, StatsAccumulate)
+{
+    DdrChannelConfig cfg;
+    DdrChannel channel(cfg);
+    channel.access(0, 64, false, 0);
+    channel.access(64, 64, true, 0);
+    EXPECT_EQ(channel.stats().accesses, 2u);
+    EXPECT_EQ(channel.stats().payloadBytes, 128u);
+    channel.reset();
+    EXPECT_EQ(channel.stats().accesses, 0u);
+}
+
+TEST(DdrChannel, RowInterleavedMapping)
+{
+    // Consecutive rows land on consecutive banks: with 16 banks and
+    // 1 KB rows, addresses 0 and 1024 use different banks and can
+    // overlap, addresses 0 and 16 KB share a bank.
+    DdrChannelConfig cfg;
+    DdrChannel a(cfg), b(cfg);
+    const Tick t_overlap_0 = a.access(0, 64, false, 0);
+    (void)t_overlap_0;
+    const Tick overlap = a.access(1024, 64, false, 0);
+    DdrChannel c(cfg);
+    c.access(0, 64, false, 0);
+    const Tick conflict = c.access(16 * 1024, 64, false, 0);
+    EXPECT_LT(overlap, conflict);
+}
+
+// ---- Regression -------------------------------------------------------
+
+TEST(LinearFitTest, ExactLine)
+{
+    const LinearFit fit =
+        linearFit({1.0, 2.0, 3.0, 4.0}, {3.0, 5.0, 7.0, 9.0});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.at(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyDataStillCloseAndR2Sane)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 100; ++i) {
+        xs.push_back(i);
+        ys.push_back(0.5 * i + 3.0 + ((i % 2) ? 0.2 : -0.2));
+    }
+    const LinearFit fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.5, 0.01);
+    EXPECT_GT(fit.r2, 0.99);
+    EXPECT_LT(fit.r2, 1.0);
+}
+
+TEST(LinearFitTest, DegenerateInputs)
+{
+    EXPECT_EQ(linearFit({}, {}).n, 0u);
+    EXPECT_DOUBLE_EQ(linearFit({1.0}, {2.0}).slope, 0.0);
+    // Vertical line (all x equal) must not blow up.
+    const LinearFit fit = linearFit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(LittlesLaw, Arithmetic)
+{
+    // 10 us in system at 50 Mreq/s = 500 requests in flight.
+    EXPECT_DOUBLE_EQ(littlesLawOccupancy(10.0, 50.0), 500.0);
+    EXPECT_DOUBLE_EQ(littlesLawOccupancy(0.0, 50.0), 0.0);
+}
+
+TEST(SaturationKnee, FindsFirstDoubling)
+{
+    const std::vector<LatencyBandwidthPoint> curve = {
+        {1.0, 1.0}, {2.0, 1.1}, {3.0, 1.3}, {3.5, 2.5}, {3.6, 5.0}};
+    EXPECT_EQ(saturationKnee(curve, 2.0), 3u);
+}
+
+TEST(SaturationKnee, NeverSaturatingReturnsLastPoint)
+{
+    const std::vector<LatencyBandwidthPoint> curve = {
+        {1.0, 1.0}, {2.0, 1.1}, {3.0, 1.2}};
+    EXPECT_EQ(saturationKnee(curve, 2.0), 2u);
+}
+
+TEST(SaturationKnee, EmptyCurve)
+{
+    EXPECT_EQ(saturationKnee({}, 2.0), 0u);
+}
+
+// ---- Table formatting --------------------------------------------------
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table({"a", "long-header"});
+    table.addRow({"xxxxxx", "1"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("a       long-header"), std::string::npos);
+    EXPECT_NE(out.find("xxxxxx  1"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "arity");
+}
+
+TEST(TextTableTest, CsvRenderingAndQuoting)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"plain", "1"});
+    table.addRow({"with,comma", "2"});
+    table.addRow({"with\"quote", "3"});
+    const std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\",2"), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\",3"), std::string::npos);
+}
+
+TEST(StrFmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+}
+
+} // namespace
+} // namespace hmcsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for multi-cube chaining: CUB-field addressing, hop latency,
+ * ring routing, and rerouting around failed cubes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hmc/chain.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+CubeChainConfig
+chainCfg(unsigned cubes)
+{
+    CubeChainConfig cfg;
+    cfg.numCubes = cubes;
+    return cfg;
+}
+
+Packet
+readAt(Addr addr)
+{
+    Packet pkt;
+    pkt.cmd = Command::Read;
+    pkt.payload = 128;
+    pkt.addr = addr;
+    return pkt;
+}
+
+TEST(CubeChain, CapacityScalesWithCubes)
+{
+    CubeChain chain(chainCfg(4));
+    EXPECT_EQ(chain.capacity(), 16ull * gib);
+    EXPECT_EQ(chain.numCubes(), 4u);
+}
+
+TEST(CubeChain, CubFieldSelectsCube)
+{
+    CubeChain chain(chainCfg(4));
+    EXPECT_EQ(chain.targetCube(0), 0u);
+    EXPECT_EQ(chain.targetCube(4ull * gib), 1u);
+    EXPECT_EQ(chain.targetCube(13ull * gib), 3u);
+}
+
+TEST(CubeChain, RejectsBadCubeCounts)
+{
+    EXPECT_DEATH(CubeChain(chainCfg(0)), "1..8");
+    EXPECT_DEATH(CubeChain(chainCfg(9)), "1..8");
+}
+
+TEST(CubeChain, LocalCubeHasNoHopCost)
+{
+    CubeChain chain(chainCfg(4));
+    Packet pkt = readAt(0);
+    ChainRouteInfo route;
+    chain.handleRequest(pkt, 0, &route);
+    EXPECT_TRUE(route.reachable);
+    EXPECT_EQ(route.hops, 0u);
+    EXPECT_FALSE(route.rerouted);
+}
+
+TEST(CubeChain, LatencyGrowsWithHops)
+{
+    // 8 cubes: host at cube 0 and cube 7; cubes 1,2,3 get
+    // progressively farther from the front (and 4+ flips to the back
+    // side of the ring).
+    CubeChain chain(chainCfg(8));
+    Tick prev = 0;
+    for (unsigned target = 0; target <= 3; ++target) {
+        Packet pkt = readAt(target * 4ull * gib);
+        ChainRouteInfo route;
+        const Tick done = chain.handleRequest(pkt, 0, &route);
+        EXPECT_EQ(route.hops, target);
+        EXPECT_GT(done, prev);
+        prev = done;
+    }
+}
+
+TEST(CubeChain, RingUsesTheShorterSide)
+{
+    CubeChain chain(chainCfg(8));
+    // Cube 7 is adjacent to the back attach point: 0 hops.
+    Packet pkt = readAt(7ull * 4 * gib);
+    ChainRouteInfo route;
+    chain.handleRequest(pkt, 0, &route);
+    EXPECT_EQ(route.hops, 0u);
+    // Cube 5: 2 hops from the back vs 5 from the front.
+    Packet pkt5 = readAt(5ull * 4 * gib);
+    chain.handleRequest(pkt5, 0, &route);
+    EXPECT_EQ(route.hops, 2u);
+}
+
+TEST(CubeChain, FailedIntermediateCubeReroutes)
+{
+    CubeChain chain(chainCfg(4));
+    // Normally cube 1 is 1 hop from the front.
+    Packet before = readAt(4ull * gib);
+    ChainRouteInfo route;
+    chain.handleRequest(before, 0, &route);
+    EXPECT_EQ(route.hops, 1u);
+    EXPECT_FALSE(route.rerouted);
+
+    // Fail cube 0: the front path is blocked; cube 1 is reachable
+    // the long way (2 hops from the back).
+    chain.setCubeFailed(0, true);
+    EXPECT_TRUE(chain.reachable(1));
+    Packet after = readAt(4ull * gib);
+    chain.handleRequest(after, 0, &route);
+    EXPECT_TRUE(route.reachable);
+    EXPECT_TRUE(route.rerouted);
+    EXPECT_EQ(route.hops, 2u);
+    EXPECT_EQ(chain.reroutedRequests(), 1u);
+    EXPECT_FALSE(after.thermalFailure); // data still intact elsewhere
+}
+
+TEST(CubeChain, FailedTargetStillAnswersWithFailureFlag)
+{
+    CubeChain chain(chainCfg(2));
+    chain.setCubeFailed(1, true);
+    Packet pkt = readAt(4ull * gib);
+    ChainRouteInfo route;
+    chain.handleRequest(pkt, 0, &route);
+    EXPECT_TRUE(route.reachable); // the package responds...
+    EXPECT_TRUE(pkt.thermalFailure); // ...but flags its shutdown
+}
+
+TEST(CubeChain, DoubleFailureIsolatesMiddleCubes)
+{
+    CubeChain chain(chainCfg(5));
+    chain.setCubeFailed(1, true);
+    chain.setCubeFailed(3, true);
+    // Cube 2 is walled off from both sides.
+    EXPECT_FALSE(chain.reachable(2));
+    EXPECT_TRUE(chain.reachable(0));
+    EXPECT_TRUE(chain.reachable(4));
+    Packet pkt = readAt(2ull * 4 * gib);
+    ChainRouteInfo route;
+    chain.handleRequest(pkt, 0, &route);
+    EXPECT_FALSE(route.reachable);
+    EXPECT_TRUE(pkt.thermalFailure);
+    EXPECT_EQ(chain.unreachableRequests(), 1u);
+}
+
+TEST(CubeChain, RecoveryRestoresTheShortPath)
+{
+    CubeChain chain(chainCfg(4));
+    chain.setCubeFailed(0, true);
+    chain.setCubeFailed(0, false);
+    Packet pkt = readAt(4ull * gib);
+    ChainRouteInfo route;
+    chain.handleRequest(pkt, 0, &route);
+    EXPECT_EQ(route.hops, 1u);
+    EXPECT_FALSE(route.rerouted);
+}
+
+TEST(CubeChain, InterCubeLinksSerializeTraffic)
+{
+    CubeChain chain(chainCfg(2));
+    // Two concurrent requests for cube 1 share one inter-cube link:
+    // the second's response is strictly later.
+    Packet a = readAt(4ull * gib);
+    Packet b = readAt(4ull * gib + (1u << 20));
+    const Tick ta = chain.handleRequest(a, 0);
+    const Tick tb = chain.handleRequest(b, 0);
+    EXPECT_GT(tb, ta);
+}
+
+TEST(CubeChain, StatsRegisterHierarchy)
+{
+    CubeChain chain(chainCfg(3));
+    StatRegistry reg;
+    chain.registerStats(reg, StatPath("chain"));
+    EXPECT_TRUE(reg.has("chain.unreachable_requests"));
+    EXPECT_TRUE(reg.has("chain.cube0.requests"));
+    EXPECT_TRUE(reg.has("chain.cube2.vault15.reads"));
+}
+
+TEST(CubeChain, SingleCubeDegeneratesToDevice)
+{
+    CubeChain chain(chainCfg(1));
+    Packet pkt = readAt(0x1000);
+    ChainRouteInfo route;
+    const Tick done = chain.handleRequest(pkt, 0, &route);
+    EXPECT_TRUE(route.reachable);
+    EXPECT_EQ(route.hops, 0u);
+    EXPECT_GT(done, 0u);
+}
+
+} // namespace
+} // namespace hmcsim

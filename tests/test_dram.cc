@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the DRAM substrate: timing derivations, closed-page
+ * and open-page bank behavior, refresh, and the row-hit contrast the
+ * paper's Sec. IV-D builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+#include "dram/timings.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+TEST(DramTimings, HmcRowIs256Bytes)
+{
+    EXPECT_EQ(hmcGen2Timings().rowBytes, 256u);
+    // DDR4 rows are larger (512-2048 B per the paper; we use 1 KB).
+    EXPECT_GT(ddr4Timings().rowBytes, hmcGen2Timings().rowBytes);
+}
+
+TEST(DramTimings, BeatsRoundUp)
+{
+    const DramTimings t = hmcGen2Timings();
+    EXPECT_EQ(t.beats(16), 1u);
+    EXPECT_EQ(t.beats(32), 1u);
+    EXPECT_EQ(t.beats(33), 2u);
+    EXPECT_EQ(t.beats(128), 4u);
+}
+
+TEST(DramTimings, VaultBusRateIsTenGBps)
+{
+    const DramTimings t = hmcGen2Timings();
+    const double bytes_per_sec =
+        static_cast<double>(t.beatBytes) * 1e12 /
+        static_cast<double>(t.tBeat);
+    EXPECT_NEAR(bytes_per_sec, 10e9, 0.1e9);
+}
+
+TEST(DramTimings, RowCycleRespectsTras)
+{
+    DramTimings t;
+    t.tRcd = nsToTicks(5.0);
+    t.tCl = nsToTicks(5.0);
+    t.tRas = nsToTicks(30.0);
+    t.tRp = nsToTicks(10.0);
+    EXPECT_EQ(t.rowCycle(), nsToTicks(40.0)); // tRAS-bound
+    t.tRas = nsToTicks(5.0);
+    EXPECT_EQ(t.rowCycle(), nsToTicks(20.0)); // sequence-bound
+}
+
+TEST(Bank, ClosedPageEveryAccessPaysFullCycle)
+{
+    const DramTimings t = hmcGen2Timings();
+    Bank bank;
+    const auto first =
+        bank.access(t, PagePolicy::Closed, 0, /*row=*/7, 128, false);
+    // Same row immediately after: closed page means no hit.
+    const auto second =
+        bank.access(t, PagePolicy::Closed, 0, 7, 128, false);
+    EXPECT_FALSE(first.rowHit);
+    EXPECT_FALSE(second.rowHit);
+    EXPECT_GE(second.dataReady, first.bankFree);
+    EXPECT_EQ(bank.rowHits(), 0u);
+}
+
+TEST(Bank, ClosedPageServiceRateMatchesCalibration)
+{
+    // The 1-bank access pattern sustains ~1/(52 ns) accesses at
+    // 128 B, which the calibration maps to ~3 GB/s raw (Fig. 7).
+    const DramTimings t = hmcGen2Timings();
+    Bank bank;
+    Tick free = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i)
+        free = bank.access(t, PagePolicy::Closed, 0, i, 128, false)
+                   .bankFree;
+    const double ns_per_access = ticksToNs(free) / n;
+    EXPECT_GT(ns_per_access, 45.0);
+    EXPECT_LT(ns_per_access, 60.0);
+}
+
+TEST(Bank, OpenPageHitsSkipActivate)
+{
+    const DramTimings t = ddr4Timings();
+    Bank bank;
+    const auto miss = bank.access(t, PagePolicy::Open, 0, 3, 64, false);
+    EXPECT_FALSE(miss.rowHit);
+    const auto hit =
+        bank.access(t, PagePolicy::Open, miss.bankFree, 3, 64, false);
+    EXPECT_TRUE(hit.rowHit);
+    // The hit's data comes back faster than the miss's did.
+    EXPECT_LT(hit.dataReady - miss.bankFree, miss.dataReady);
+    EXPECT_EQ(bank.rowHits(), 1u);
+}
+
+TEST(Bank, OpenPageConflictPaysPrecharge)
+{
+    const DramTimings t = ddr4Timings();
+    Bank bank;
+    bank.access(t, PagePolicy::Open, 0, 3, 64, false);
+    Bank fresh;
+    const auto cold = fresh.access(t, PagePolicy::Open, 0, 5, 64, false);
+    const auto conflict =
+        bank.access(t, PagePolicy::Open, 0, 5, 64, false);
+    // Conflict = precharge + activate; cold = activate only.
+    EXPECT_GT(conflict.dataReady - 0, cold.dataReady - 0);
+    EXPECT_FALSE(conflict.rowHit);
+}
+
+TEST(Bank, WritesPayWriteRecovery)
+{
+    const DramTimings t = hmcGen2Timings();
+    Bank rd_bank, wr_bank;
+    const auto rd =
+        rd_bank.access(t, PagePolicy::Closed, 0, 0, 128, false);
+    const auto wr =
+        wr_bank.access(t, PagePolicy::Closed, 0, 0, 128, true);
+    EXPECT_GT(wr.bankFree, rd.bankFree);
+}
+
+TEST(Bank, AccessesSerializeOnTheBank)
+{
+    const DramTimings t = hmcGen2Timings();
+    Bank bank;
+    const auto a = bank.access(t, PagePolicy::Closed, 0, 0, 32, false);
+    const auto b = bank.access(t, PagePolicy::Closed, 0, 1, 32, false);
+    const auto c = bank.access(t, PagePolicy::Closed, 0, 2, 32, false);
+    EXPECT_GE(b.dataReady, a.bankFree);
+    EXPECT_GE(c.dataReady, b.bankFree);
+}
+
+TEST(Bank, RefreshBlocksAndClosesRow)
+{
+    const DramTimings t = ddr4Timings();
+    Bank bank;
+    bank.access(t, PagePolicy::Open, 0, 9, 64, false);
+    const Tick refreshed = bank.refresh(t, 0);
+    EXPECT_GE(refreshed, t.tRfc);
+    // Row was closed by the refresh: same row is no longer a hit.
+    const auto after =
+        bank.access(t, PagePolicy::Open, refreshed, 9, 64, false);
+    EXPECT_FALSE(after.rowHit);
+}
+
+TEST(Bank, ResetClearsState)
+{
+    const DramTimings t = hmcGen2Timings();
+    Bank bank;
+    bank.access(t, PagePolicy::Closed, 0, 0, 128, false);
+    bank.reset();
+    EXPECT_EQ(bank.accesses(), 0u);
+    EXPECT_EQ(bank.busyTime(), 0u);
+    const auto res = bank.access(t, PagePolicy::Closed, 0, 0, 32, false);
+    EXPECT_EQ(res.dataReady, t.tRcd + t.tCl);
+}
+
+TEST(Bank, BusyTimeTracksOccupancy)
+{
+    const DramTimings t = hmcGen2Timings();
+    Bank bank;
+    const auto res = bank.access(t, PagePolicy::Closed, 0, 0, 128, false);
+    EXPECT_EQ(bank.busyTime(), res.bankFree);
+}
+
+/** Closed-page latency must be independent of address ordering. */
+class ClosedPageOrderInvariance
+    : public ::testing::TestWithParam<Bytes>
+{
+};
+
+TEST_P(ClosedPageOrderInvariance, LinearAndStridedCostTheSame)
+{
+    const Bytes size = GetParam();
+    const DramTimings t = hmcGen2Timings();
+    Bank linear_bank, strided_bank;
+    Tick linear_done = 0, strided_done = 0;
+    for (int i = 0; i < 500; ++i) {
+        linear_done = linear_bank
+                          .access(t, PagePolicy::Closed, 0,
+                                  static_cast<std::uint32_t>(i), size,
+                                  false)
+                          .bankFree;
+        strided_done = strided_bank
+                           .access(t, PagePolicy::Closed, 0,
+                                   static_cast<std::uint32_t>(i * 977),
+                                   size, false)
+                           .bankFree;
+    }
+    EXPECT_EQ(linear_done, strided_done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClosedPageOrderInvariance,
+                         ::testing::Values(16u, 32u, 64u, 128u));
+
+} // namespace
+} // namespace hmcsim

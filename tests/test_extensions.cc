@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the extension features: temperature-dependent refresh,
+ * atomic commands, link error injection + retry, alternative mapping
+ * schemes, and multi-link configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gups/patterns.hh"
+#include "host/experiment.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+// ---- Refresh engine ----------------------------------------------------
+
+TEST(Refresh, DisabledByDefault)
+{
+    VaultConfig cfg;
+    VaultController vault(cfg);
+    EXPECT_EQ(vault.refreshInterval(), 0u);
+    Packet pkt;
+    pkt.cmd = Command::Read;
+    pkt.payload = 128;
+    pkt.bank = 0;
+    vault.service(pkt, 10 * tickMs);
+    EXPECT_EQ(vault.stats().refreshes, 0u);
+}
+
+TEST(Refresh, FiresOncePerIntervalPerBank)
+{
+    VaultConfig cfg;
+    cfg.refreshEnabled = true;
+    VaultController vault(cfg);
+    const Tick interval = vault.refreshInterval();
+    EXPECT_EQ(interval, cfg.timings.tRefi);
+    // Touch bank 0 after 10 intervals: 10 catch-up refreshes.
+    Packet pkt;
+    pkt.cmd = Command::Read;
+    pkt.payload = 128;
+    pkt.bank = 0;
+    vault.service(pkt, interval * 10);
+    EXPECT_GE(vault.stats().refreshes, 9u);
+    EXPECT_LE(vault.stats().refreshes, 11u);
+}
+
+TEST(Refresh, MultiplierShortensInterval)
+{
+    VaultConfig cfg;
+    cfg.refreshEnabled = true;
+    cfg.refreshMultiplier = 2.0;
+    VaultController vault(cfg);
+    EXPECT_EQ(vault.refreshInterval(), cfg.timings.tRefi / 2);
+}
+
+TEST(Refresh, HotDeviceDoublesRate)
+{
+    HmcDeviceConfig cfg;
+    HmcDevice device(cfg);
+    device.applyTemperature(90.0);
+    EXPECT_EQ(device.vault(0).refreshInterval(),
+              cfg.vault.timings.tRefi / 2);
+    device.applyTemperature(60.0);
+    EXPECT_EQ(device.vault(0).refreshInterval(),
+              cfg.vault.timings.tRefi);
+}
+
+TEST(Refresh, CostsBandwidthOnABankBoundPattern)
+{
+    const AddressMapper mapper(HmcConfig::gen2_4GB(),
+                               MaxBlockSize::B128);
+    ExperimentConfig cfg;
+    cfg.pattern = bankPattern(mapper, 1);
+    cfg.measure = 300 * tickUs;
+    const double off = runExperiment(cfg).rawGBps;
+    cfg.device.vault.refreshEnabled = true;
+    cfg.device.vault.refreshMultiplier = 4.0;
+    const double hot = runExperiment(cfg).rawGBps;
+    EXPECT_LT(hot, off * 0.97);
+    EXPECT_GT(hot, off * 0.80);
+}
+
+// ---- Atomics -------------------------------------------------------------
+
+TEST(Atomics, PacketSizes)
+{
+    // 2-flit request (command + 16 B immediate), 1-flit response.
+    EXPECT_EQ(requestFlits(Command::Atomic, 16), 2u);
+    EXPECT_EQ(responseFlits(Command::Atomic, 16), 1u);
+    EXPECT_EQ(transactionBytes(Command::Atomic, 16), 48u);
+}
+
+TEST(Atomics, VaultTreatsThemAsWritesPlusAluTime)
+{
+    VaultConfig cfg;
+    VaultController rd(cfg), at(cfg);
+    Packet r;
+    r.cmd = Command::Read;
+    r.payload = 16;
+    Packet a;
+    a.cmd = Command::Atomic;
+    a.payload = 16;
+    EXPECT_GT(at.service(a, 0), rd.service(r, 0));
+    EXPECT_EQ(at.stats().atomics, 1u);
+}
+
+TEST(Atomics, MixRunsEndToEnd)
+{
+    ExperimentConfig cfg;
+    cfg.mix = RequestMix::Atomic;
+    cfg.measure = 300 * tickUs;
+    const MeasurementResult m = runExperiment(cfg);
+    EXPECT_GT(m.mrps, 100.0); // small packets: high update rate
+    // Each atomic moves 48 raw bytes.
+    EXPECT_NEAR(m.rawGBps * 1000.0 / m.mrps, 48.0, 1.0);
+}
+
+TEST(Atomics, HigherUpdateRateThanHostRmw)
+{
+    ExperimentConfig atomic_cfg;
+    atomic_cfg.mix = RequestMix::Atomic;
+    atomic_cfg.measure = 300 * tickUs;
+    ExperimentConfig rmw_cfg;
+    rmw_cfg.mix = RequestMix::ReadModifyWrite;
+    rmw_cfg.requestSize = 16;
+    rmw_cfg.measure = 300 * tickUs;
+    const double atomic_rate = runExperiment(atomic_cfg).readMrps;
+    const double rmw_rate = runExperiment(rmw_cfg).writeMrps;
+    EXPECT_GT(atomic_rate, rmw_rate * 1.3);
+}
+
+TEST(Atomics, CountAgainstWriteThermalBound)
+{
+    EXPECT_DOUBLE_EQ(ThermalModel::temperatureLimit(RequestMix::Atomic),
+                     writeTemperatureLimitC);
+}
+
+// ---- Link errors + retry ---------------------------------------------------
+
+TEST(LinkErrors, CleanLinkNeverRetries)
+{
+    LinkConfig cfg;
+    LinkDirection dir(cfg, 0, 42);
+    for (int i = 0; i < 1000; ++i)
+        dir.transmit(0, 160);
+    EXPECT_EQ(dir.retries(), 0u);
+}
+
+TEST(LinkErrors, HighBerRetriesAndDelays)
+{
+    LinkConfig clean;
+    LinkConfig noisy = clean;
+    noisy.bitErrorRate = 1e-4; // ~12 % packet error at 160 B
+    LinkDirection a(clean, 0, 7), b(noisy, 0, 7);
+    Tick clean_done = 0, noisy_done = 0;
+    for (int i = 0; i < 5000; ++i) {
+        clean_done = a.transmit(0, 160);
+        noisy_done = b.transmit(0, 160);
+    }
+    EXPECT_GT(b.retries(), 100u);
+    EXPECT_GT(noisy_done, clean_done);
+}
+
+TEST(LinkErrors, RetryProbabilityMatchesBer)
+{
+    LinkConfig cfg;
+    cfg.bitErrorRate = 1e-4;
+    LinkDirection dir(cfg, 0, 11);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        dir.transmit(0, 160);
+    // p_err = 1 - (1 - 1e-4)^(168*8) ~= 12.6 %.
+    const double observed =
+        static_cast<double>(dir.retries()) / n;
+    EXPECT_NEAR(observed, 0.126, 0.02);
+}
+
+TEST(LinkErrors, EndToEndBandwidthDegradesGracefully)
+{
+    Ac510Config clean_sys;
+    Ac510Config noisy_sys;
+    noisy_sys.controller.bitErrorRate = 5e-6;
+    Ac510Module clean(clean_sys), noisy(noisy_sys);
+    clean.start();
+    noisy.start();
+    clean.runUntil(400 * tickUs);
+    noisy.runUntil(400 * tickUs);
+    const auto c = clean.aggregateStats();
+    const auto n = noisy.aggregateStats();
+    EXPECT_GT(noisy.controller().linkRetries(), 0u);
+    EXPECT_LT(n.rawBytes, c.rawBytes);
+    EXPECT_GT(n.rawBytes, c.rawBytes / 2); // graceful, not collapse
+    // No losses: every issued read completes after draining.
+    noisy.stop();
+    noisy.runToCompletion();
+    const auto drained = noisy.aggregateStats();
+    EXPECT_EQ(drained.readsIssued, drained.readsCompleted);
+}
+
+// ---- Mapping schemes -------------------------------------------------------
+
+TEST(MappingSchemes, BankFirstSwapsFields)
+{
+    const HmcConfig cfg = HmcConfig::gen2_4GB();
+    const AddressMapper m(cfg, MaxBlockSize::B128, 256,
+                          MappingScheme::BankFirst);
+    EXPECT_EQ(m.bankShift(), 7u);
+    EXPECT_EQ(m.vaultShift(), 11u);
+    // Sequential 128 B blocks now spread across banks first.
+    std::set<unsigned> banks;
+    for (Addr block = 0; block < 16; ++block) {
+        const DecodedAddress d = m.decode(block * 128);
+        banks.insert(d.bank);
+        EXPECT_EQ(d.vault, 0u);
+    }
+    EXPECT_EQ(banks.size(), 16u);
+}
+
+TEST(MappingSchemes, ContiguousVaultUsesTopBits)
+{
+    const HmcConfig cfg = HmcConfig::gen2_4GB();
+    const AddressMapper m(cfg, MaxBlockSize::B128, 256,
+                          MappingScheme::ContiguousVault);
+    EXPECT_EQ(m.vaultShift(), 28u);
+    // A 256 MB array sits entirely in vault 0.
+    EXPECT_EQ(m.decode(0).vault, 0u);
+    EXPECT_EQ(m.decode(256 * mib - 128).vault, 0u);
+    EXPECT_EQ(m.decode(256 * mib).vault, 1u);
+}
+
+TEST(MappingSchemes, ContiguousVaultRowsAreContiguous)
+{
+    const HmcConfig cfg = HmcConfig::gen2_4GB();
+    const AddressMapper m(cfg, MaxBlockSize::B128, 256,
+                          MappingScheme::ContiguousVault);
+    const DecodedAddress a = m.decode(0);
+    const DecodedAddress b = m.decode(255);
+    const DecodedAddress c = m.decode(256);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(c.row, a.row + 1);
+}
+
+TEST(MappingSchemes, AllSchemesCoverAllBanksUniformly)
+{
+    const HmcConfig cfg = HmcConfig::gen2_4GB();
+    for (MappingScheme scheme :
+         {MappingScheme::VaultFirst, MappingScheme::BankFirst,
+          MappingScheme::ContiguousVault}) {
+        const AddressMapper m(cfg, MaxBlockSize::B128, 256, scheme);
+        Xoshiro256StarStar rng(3);
+        std::set<std::pair<unsigned, unsigned>> seen;
+        for (int i = 0; i < 60000; ++i) {
+            const DecodedAddress d =
+                m.decode(rng.nextBounded(cfg.capacity));
+            seen.emplace(d.vault, d.bank);
+        }
+        EXPECT_EQ(seen.size(), 256u) << mappingSchemeName(scheme);
+    }
+}
+
+// ---- Controller flow control ------------------------------------------------
+
+TEST(FlowControl, TokenStarvedThroughputIsTokensOverRtt)
+{
+    ExperimentConfig cfg;
+    cfg.controller.inputBufferFlits = 16; // per link -> 32 reads max
+    cfg.measure = 300 * tickUs;
+    const MeasurementResult m = runExperiment(cfg);
+    // Only 2 links x 16 tokens = 32 one-flit reads live past the stop
+    // signal; the other tagged requests wait parked, so the measured
+    // latency balloons while throughput collapses to roughly
+    // 32 / (in-cube round trip ~0.7 us) ~ 45 MRPS.
+    EXPECT_LT(m.mrps, 60.0);
+    EXPECT_GT(m.mrps, 30.0);
+    EXPECT_LT(m.rawGBps, 10.0); // far below the unthrottled 20 GB/s
+    // Little's law over the whole pipe (576 tags incl. parked time)
+    // still holds exactly.
+    const double expected_mrps =
+        576.0 / (m.readLatencyNs.mean() / 1000.0);
+    EXPECT_NEAR(m.mrps, expected_mrps, expected_mrps * 0.10);
+}
+
+TEST(FlowControl, WritesStallHarderThanReads)
+{
+    ExperimentConfig ro;
+    ro.controller.inputBufferFlits = 16;
+    ro.measure = 300 * tickUs;
+    ExperimentConfig wo = ro;
+    wo.mix = RequestMix::WriteOnly;
+    // A write request needs 9 tokens, a read 1: reads keep ~9x the
+    // requests in flight.
+    EXPECT_GT(runExperiment(ro).rawGBps,
+              runExperiment(wo).rawGBps * 3.0);
+}
+
+TEST(FlowControl, UnlimitedBufferNeverStalls)
+{
+    Ac510Config sys;
+    Ac510Module module(sys);
+    module.start();
+    module.runUntil(300 * tickUs);
+    EXPECT_EQ(module.controller().stats().flowControlStalls, 0u);
+}
+
+TEST(FlowControl, StallsCountedAndDrainCompletely)
+{
+    Ac510Config sys;
+    sys.controller.inputBufferFlits = 8;
+    Ac510Module module(sys);
+    module.start();
+    module.runUntil(300 * tickUs);
+    EXPECT_GT(module.controller().stats().flowControlStalls, 0u);
+    module.stop();
+    module.runToCompletion();
+    const GupsPortStats agg = module.aggregateStats();
+    EXPECT_EQ(agg.readsIssued, agg.readsCompleted);
+    EXPECT_TRUE(module.allPortsIdle());
+}
+
+// ---- Multi-link -------------------------------------------------------------
+
+TEST(MultiLink, FourLinksDoubleReadBandwidth)
+{
+    ExperimentConfig two;
+    two.measure = 300 * tickUs;
+    ExperimentConfig four = two;
+    four.controller.numLinks = 4;
+    const double bw2 = runExperiment(two).rawGBps;
+    const double bw4 = runExperiment(four).rawGBps;
+    EXPECT_NEAR(bw4 / bw2, 2.0, 0.15);
+}
+
+TEST(MultiLink, PortsSpreadAcrossLinks)
+{
+    GupsPortConfig cfg;
+    cfg.numLinks = 4;
+    EventQueue queue;
+    std::set<unsigned> links;
+    for (unsigned id = 0; id < 8; ++id) {
+        GupsPort port(
+            id, cfg, 4 * gib, queue,
+            [&links](Packet &&pkt) { links.insert(pkt.link); }, 1);
+        port.start();
+        queue.runUntil(queue.now() + 10 * tickUs);
+        port.stop();
+    }
+    EXPECT_EQ(links.size(), 4u);
+}
+
+} // namespace
+} // namespace hmcsim

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit tests for the HMC module: Table I structural configs (Eq. 1),
+ * the Fig. 3 address mapping and its page-layout consequences, the
+ * vault controller (BLP, 10 GB/s bus), and device-level routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hmc/address_mapper.hh"
+#include "hmc/config.hh"
+#include "hmc/device.hh"
+#include "hmc/vault_controller.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+// ---- Table I / Eq. 1 -------------------------------------------------
+
+TEST(HmcConfig, Gen1Structure)
+{
+    const HmcConfig c = HmcConfig::gen1();
+    EXPECT_EQ(c.capacity, 512u * mib);
+    EXPECT_EQ(c.numBanks(), 128u);
+    EXPECT_EQ(c.banksPerVault(), 8u);
+    EXPECT_EQ(c.bankBytes(), 4u * mib);
+    EXPECT_EQ(c.partitionBytes(), 8u * mib);
+    EXPECT_EQ(c.vaultsPerQuadrant(), 4u);
+}
+
+TEST(HmcConfig, Gen2Equation1)
+{
+    // Eq. 1: 8 layers x 16 partitions/layer x 2 banks/partition = 256.
+    const HmcConfig c = HmcConfig::gen2_4GB();
+    EXPECT_EQ(c.numBanks(),
+              c.numDramLayers * c.partitionsPerLayer *
+                  c.banksPerPartition);
+    EXPECT_EQ(c.numBanks(), 256u);
+    EXPECT_EQ(c.banksPerVault(), 16u);
+    EXPECT_EQ(c.bankBytes(), 16u * mib);
+    EXPECT_EQ(c.partitionBytes(), 32u * mib);
+}
+
+TEST(HmcConfig, Gen2_2GBHalvesLayersNotBanksPerPartition)
+{
+    const HmcConfig c = HmcConfig::gen2_2GB();
+    EXPECT_EQ(c.numBanks(), 128u);
+    EXPECT_EQ(c.bankBytes(), 16u * mib);
+}
+
+TEST(HmcConfig, Hmc2DoublesVaults)
+{
+    const HmcConfig c = HmcConfig::hmc2_4GB();
+    EXPECT_EQ(c.numVaults, 32u);
+    EXPECT_EQ(c.vaultsPerQuadrant(), 8u);
+    EXPECT_EQ(c.bankBytes(), 16u * mib);
+    const HmcConfig c8 = HmcConfig::hmc2_8GB();
+    EXPECT_EQ(c8.numBanks(), 512u);
+}
+
+TEST(HmcConfig, CapacityConsistency)
+{
+    for (const HmcConfig &c :
+         {HmcConfig::gen1(), HmcConfig::gen2_2GB(), HmcConfig::gen2_4GB(),
+          HmcConfig::hmc2_4GB(), HmcConfig::hmc2_8GB()}) {
+        // layers x layer-size must equal the advertised capacity.
+        const Bytes from_layers = static_cast<Bytes>(c.numDramLayers) *
+                                  c.dramLayerGbits * gib / 8;
+        EXPECT_EQ(from_layers, c.capacity) << c.name;
+        EXPECT_EQ(c.bankBytes() * c.numBanks(), c.capacity) << c.name;
+    }
+}
+
+// ---- Address mapping (Fig. 3) ----------------------------------------
+
+class MapperTest : public ::testing::Test
+{
+  protected:
+    HmcConfig cfg = HmcConfig::gen2_4GB();
+    AddressMapper mapper{cfg, MaxBlockSize::B128};
+};
+
+TEST_F(MapperTest, FieldPositionsFor128B)
+{
+    // Fig. 3a: [3:0] ignored, [6:4] in-block, [10:7] vault, [14:11]
+    // bank.
+    EXPECT_EQ(mapper.vaultShift(), 7u);
+    EXPECT_EQ(mapper.bankShift(), 11u);
+    EXPECT_EQ(mapper.rowShift(), 15u);
+    EXPECT_EQ(mapper.vaultBits(), 4u);
+    EXPECT_EQ(mapper.bankBits(), 4u);
+    EXPECT_EQ(mapper.addressBits(), 32u);
+}
+
+TEST_F(MapperTest, FieldPositionsShiftWithMaxBlock)
+{
+    // Fig. 3b: 64 B -> vault at bit 6; Fig. 3c: 32 B -> vault at 5.
+    const AddressMapper m64(cfg, MaxBlockSize::B64);
+    EXPECT_EQ(m64.vaultShift(), 6u);
+    EXPECT_EQ(m64.bankShift(), 10u);
+    const AddressMapper m32(cfg, MaxBlockSize::B32);
+    EXPECT_EQ(m32.vaultShift(), 5u);
+    EXPECT_EQ(m32.bankShift(), 9u);
+    const AddressMapper m16(cfg, MaxBlockSize::B16);
+    EXPECT_EQ(m16.vaultShift(), 4u);
+    EXPECT_EQ(m16.bankShift(), 8u);
+}
+
+TEST_F(MapperTest, SequentialBlocksSpreadAcrossVaultsFirst)
+{
+    // Low-order interleave: consecutive 128 B blocks visit all 16
+    // vaults before the bank changes.
+    std::set<unsigned> vaults;
+    for (Addr block = 0; block < 16; ++block) {
+        const DecodedAddress d = mapper.decode(block * 128);
+        vaults.insert(d.vault);
+        EXPECT_EQ(d.bank, 0u);
+    }
+    EXPECT_EQ(vaults.size(), 16u);
+    // The 17th block wraps to vault 0, bank... still bank 0? No: bank
+    // field is the next 4 bits, so block 16 lands in bank 1.
+    EXPECT_EQ(mapper.decode(16 * 128).vault, 0u);
+    EXPECT_EQ(mapper.decode(16 * 128).bank, 1u);
+}
+
+TEST_F(MapperTest, QuadrantIsHighVaultBits)
+{
+    for (unsigned v = 0; v < 16; ++v) {
+        const DecodedAddress d =
+            mapper.decode(static_cast<Addr>(v) << mapper.vaultShift());
+        EXPECT_EQ(d.vault, v);
+        EXPECT_EQ(d.quadrant, v / 4);
+    }
+}
+
+TEST_F(MapperTest, HighOrderBitsIgnored)
+{
+    // The request header has a 34-bit field but a 4 GB cube only
+    // implements 32 bits; bits 32-33 must be ignored.
+    const Addr base = 0x12345678;
+    const DecodedAddress a = mapper.decode(base);
+    const DecodedAddress b = mapper.decode(base | (Addr(3) << 32));
+    EXPECT_EQ(a.vault, b.vault);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST_F(MapperTest, OsPageSpansTwoBanksAcrossAllVaults)
+{
+    // Sec. II-C: a 4 KB OS page is allocated in two banks across all
+    // vaults (128 B max block size).
+    EXPECT_EQ(mapper.regionVaultSpan(0, 4096), 16u);
+    EXPECT_EQ(mapper.regionBankSpan(0, 4096), 32u); // 2 banks x 16
+}
+
+TEST_F(MapperTest, SmallerMaxBlockRaisesPageBlp)
+{
+    // Footnote 6: reducing the max block size increases BLP within a
+    // single page.
+    const AddressMapper m32(cfg, MaxBlockSize::B32);
+    EXPECT_GT(m32.regionBankSpan(0, 4096), mapper.regionBankSpan(0, 4096));
+}
+
+TEST_F(MapperTest, OneHundredTwentyEightPagesForFullBlp)
+{
+    // Sec. II-C: 16 vaults x 8 page slots = 128 serially allocated
+    // pages reach maximum BLP. Page i and page i+128 collide on the
+    // same banks.
+    const DecodedAddress first = mapper.decode(0);
+    const DecodedAddress wrap = mapper.decode(128 * 4096);
+    EXPECT_EQ(first.vault, wrap.vault);
+    EXPECT_EQ(first.bank, wrap.bank);
+    // ...and eight consecutive pages cover every (vault, bank) pair:
+    // each page claims a disjoint bank pair in every vault, so eight
+    // pages keep all 256 banks busy.
+    std::set<std::pair<unsigned, unsigned>> covered;
+    for (Addr page = 0; page < 8; ++page) {
+        for (Addr a = page * 4096; a < (page + 1) * 4096; a += 128) {
+            const DecodedAddress d = mapper.decode(a);
+            covered.emplace(d.vault, d.bank);
+        }
+    }
+    EXPECT_EQ(covered.size(), 256u);
+}
+
+TEST_F(MapperTest, RowAndColumnReconstructBankLocalAddress)
+{
+    const DecodedAddress d = mapper.decode(0x3A5F0);
+    EXPECT_LT(d.column, 256u);
+    // Two addresses 256 B apart in bank-local space differ in row.
+    const Addr same_bank_stride = Addr(1) << mapper.rowShift();
+    const DecodedAddress d2 = mapper.decode(0x3A5F0 + 2 * same_bank_stride);
+    EXPECT_EQ(d2.vault, d.vault);
+    EXPECT_EQ(d2.bank, d.bank);
+    EXPECT_EQ(d2.row, d.row + 1); // 2 x 128 B groups = one 256 B row
+}
+
+// ---- Vault controller -------------------------------------------------
+
+Packet
+makeRequest(Command cmd, unsigned bank, std::uint32_t row, Bytes payload)
+{
+    Packet pkt;
+    pkt.cmd = cmd;
+    pkt.bank = static_cast<std::uint8_t>(bank);
+    pkt.row = row;
+    pkt.payload = payload;
+    pkt.addr = 0;
+    return pkt;
+}
+
+TEST(VaultController, SingleBankSerializes)
+{
+    VaultConfig cfg;
+    VaultController vault(cfg);
+    const Tick t1 = vault.service(makeRequest(Command::Read, 0, 0, 128), 0);
+    const Tick t2 = vault.service(makeRequest(Command::Read, 0, 1, 128), 0);
+    EXPECT_GT(t2, t1);
+    EXPECT_GE(t2 - t1, cfg.timings.rowCycle() / 2);
+}
+
+TEST(VaultController, DistinctBanksOverlap)
+{
+    VaultConfig cfg;
+    VaultController same(cfg), diff(cfg);
+    Tick same_done = 0, diff_done = 0;
+    for (int i = 0; i < 8; ++i) {
+        same_done =
+            same.service(makeRequest(Command::Read, 0, i, 128), 0);
+        diff_done =
+            diff.service(makeRequest(Command::Read, i, 0, 128), 0);
+    }
+    EXPECT_LT(diff_done, same_done); // BLP wins
+}
+
+TEST(VaultController, BusCapsNearTenGBps)
+{
+    VaultConfig cfg;
+    VaultController vault(cfg);
+    // Saturate all 16 banks with 128 B reads.
+    const int n = 4000;
+    Tick done = 0;
+    for (int i = 0; i < n; ++i)
+        done = vault.service(
+            makeRequest(Command::Read, i % 16, i, 128), 0);
+    // Raw-accounting bandwidth: each 128 B read moves 160 link bytes.
+    const double raw_gbps =
+        toGBps(bytesPerSecond(static_cast<Bytes>(n) * 160, done));
+    EXPECT_NEAR(raw_gbps, 10.0, 0.5);
+}
+
+TEST(VaultController, MisalignedAccessWastesABeat)
+{
+    VaultConfig cfg;
+    VaultController aligned(cfg), misaligned(cfg);
+    Tick a_done = 0, m_done = 0;
+    for (int i = 0; i < 1000; ++i) {
+        Packet a = makeRequest(Command::Read, i % 16, i, 32);
+        a.addr = 0;
+        Packet m = makeRequest(Command::Read, i % 16, i, 32);
+        m.addr = 16; // starts mid-beat
+        a_done = aligned.service(a, 0);
+        m_done = misaligned.service(m, 0);
+    }
+    EXPECT_GT(m_done, a_done);
+}
+
+TEST(VaultController, StatsCountPerCommand)
+{
+    VaultConfig cfg;
+    VaultController vault(cfg);
+    vault.service(makeRequest(Command::Read, 0, 0, 128), 0);
+    vault.service(makeRequest(Command::Write, 1, 0, 64), 0);
+    vault.service(makeRequest(Command::Atomic, 2, 0, 16), 0);
+    EXPECT_EQ(vault.stats().reads, 1u);
+    EXPECT_EQ(vault.stats().writes, 1u);
+    EXPECT_EQ(vault.stats().atomics, 1u);
+    EXPECT_EQ(vault.stats().payloadBytes, 128u + 64u + 16u);
+}
+
+TEST(VaultController, ClosedPageMeansNoRowHits)
+{
+    VaultConfig cfg;
+    VaultController vault(cfg);
+    for (int i = 0; i < 10; ++i)
+        vault.service(makeRequest(Command::Read, 0, 42, 128), 0);
+    EXPECT_EQ(vault.stats().rowHits, 0u);
+}
+
+TEST(VaultController, OpenPagePolicyCountsRowHits)
+{
+    VaultConfig cfg;
+    cfg.policy = PagePolicy::Open;
+    VaultController vault(cfg);
+    for (int i = 0; i < 10; ++i)
+        vault.service(makeRequest(Command::Read, 0, 42, 128), 0);
+    EXPECT_EQ(vault.stats().rowHits, 9u);
+}
+
+// ---- Device ------------------------------------------------------------
+
+TEST(HmcDevice, DecodesAndRoutes)
+{
+    HmcDeviceConfig cfg;
+    HmcDevice device(cfg);
+    Packet pkt;
+    pkt.cmd = Command::Read;
+    pkt.payload = 128;
+    pkt.addr = Addr(5) << device.mapper().vaultShift(); // vault 5
+    pkt.link = 0;
+    const Tick done = device.handleRequest(pkt, 1000);
+    EXPECT_GT(done, 1000u);
+    EXPECT_EQ(pkt.vault, 5u);
+    EXPECT_EQ(pkt.quadrant, 1u);
+    EXPECT_EQ(device.stats().requests, 1u);
+}
+
+TEST(HmcDevice, RemoteQuadrantCostsMore)
+{
+    HmcDeviceConfig cfg;
+    HmcDevice local_dev(cfg), remote_dev(cfg);
+    Packet local;
+    local.cmd = Command::Read;
+    local.payload = 128;
+    local.addr = 0; // vault 0, quadrant 0
+    local.link = 0; // enters at quadrant 0
+    Packet remote = local;
+    remote.addr = Addr(15) << local_dev.mapper().vaultShift(); // quad 3
+    const Tick t_local = local_dev.handleRequest(local, 0);
+    const Tick t_remote = remote_dev.handleRequest(remote, 0);
+    EXPECT_GT(t_remote, t_local);
+    EXPECT_EQ(t_remote - t_local, 2 * cfg.quadrantHopLatency);
+    EXPECT_EQ(local_dev.stats().localQuadrantHits, 1u);
+    EXPECT_EQ(remote_dev.stats().localQuadrantHits, 0u);
+}
+
+TEST(HmcDevice, ThermalShutdownFlagsResponses)
+{
+    HmcDeviceConfig cfg;
+    HmcDevice device(cfg);
+    device.setThermalShutdown(true);
+    Packet pkt;
+    pkt.cmd = Command::Write;
+    pkt.payload = 64;
+    pkt.addr = 0x1000;
+    device.handleRequest(pkt, 0);
+    EXPECT_TRUE(pkt.thermalFailure);
+}
+
+TEST(HmcDevice, PayloadAccounting)
+{
+    HmcDeviceConfig cfg;
+    HmcDevice device(cfg);
+    Packet rd;
+    rd.cmd = Command::Read;
+    rd.payload = 128;
+    Packet wr;
+    wr.cmd = Command::Write;
+    wr.payload = 64;
+    device.handleRequest(rd, 0);
+    device.handleRequest(wr, 0);
+    EXPECT_EQ(device.stats().readPayloadBytes, 128u);
+    EXPECT_EQ(device.stats().writePayloadBytes, 64u);
+}
+
+TEST(HmcDevice, VaultCountMatchesStructure)
+{
+    HmcDeviceConfig cfg;
+    cfg.structure = HmcConfig::hmc2_4GB();
+    HmcDevice device(cfg);
+    EXPECT_EQ(device.numVaults(), 32u);
+}
+
+TEST(HmcDevice, ResetClearsStats)
+{
+    HmcDeviceConfig cfg;
+    HmcDevice device(cfg);
+    Packet pkt;
+    pkt.cmd = Command::Read;
+    pkt.payload = 128;
+    device.handleRequest(pkt, 0);
+    device.reset();
+    EXPECT_EQ(device.stats().requests, 0u);
+    EXPECT_FALSE(device.inThermalShutdown());
+}
+
+} // namespace
+} // namespace hmcsim

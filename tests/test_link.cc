@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the link layer: Eq. 2 peak-bandwidth arithmetic,
+ * throughput-regulator queuing behavior, and link-direction latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "link/link.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+TEST(LinkConfig, Equation2PeakBandwidth)
+{
+    // 2 links x 8 lanes x 15 Gbps x 2 (full duplex) = 60 GB/s.
+    LinkConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.peakBidirectionalBytesPerSecond(), 60e9);
+    EXPECT_DOUBLE_EQ(cfg.rawLinkBytesPerSecond(), 15e9);
+}
+
+TEST(LinkConfig, FourLinkFullWidthConfiguration)
+{
+    LinkConfig cfg;
+    cfg.numLinks = 4;
+    cfg.lanesPerLink = 16;
+    cfg.gbpsPerLane = 10.0;
+    // 4 x 16 x 10 Gbps x 2 = 1280 Gbps = 160 GB/s.
+    EXPECT_DOUBLE_EQ(cfg.peakBidirectionalBytesPerSecond(), 160e9);
+}
+
+TEST(LinkConfig, EfficiencyDeratesEffectiveRate)
+{
+    LinkConfig cfg;
+    cfg.protocolEfficiency = 0.5;
+    EXPECT_DOUBLE_EQ(cfg.effectiveLinkBytesPerSecond(), 7.5e9);
+}
+
+TEST(ThroughputRegulator, IdleResourceAddsOnlyServiceTime)
+{
+    ThroughputRegulator reg(1e9); // 1 byte per ns
+    const Tick done = reg.admit(1000, 100.0);
+    EXPECT_EQ(done, 1000u + 100u * tickNs);
+}
+
+TEST(ThroughputRegulator, BackToBackLoadsQueue)
+{
+    ThroughputRegulator reg(1e9);
+    const Tick first = reg.admit(0, 50.0);
+    const Tick second = reg.admit(0, 50.0);
+    EXPECT_EQ(first, 50u * tickNs);
+    EXPECT_EQ(second, 100u * tickNs); // waited for the first
+}
+
+TEST(ThroughputRegulator, GapsDrainTheQueue)
+{
+    ThroughputRegulator reg(1e9);
+    reg.admit(0, 10.0);
+    // Arrives long after the first finished: no queuing.
+    const Tick done = reg.admit(1000 * tickNs, 10.0);
+    EXPECT_EQ(done, 1010u * tickNs);
+}
+
+TEST(ThroughputRegulator, SustainedRateMatchesConfigured)
+{
+    ThroughputRegulator reg(10e9); // 10 GB/s
+    Tick done = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        done = reg.admit(0, 160.0);
+    const double gbps =
+        toGBps(bytesPerSecond(static_cast<Bytes>(n) * 160, done));
+    EXPECT_NEAR(gbps, 10.0, 0.01);
+}
+
+TEST(ThroughputRegulator, BusyTimeAccumulates)
+{
+    ThroughputRegulator reg(1e9);
+    reg.admit(0, 100.0);
+    reg.admit(500 * tickNs, 100.0);
+    EXPECT_EQ(reg.busyTime(), 200u * tickNs);
+}
+
+TEST(ThroughputRegulator, ResetClearsHistory)
+{
+    ThroughputRegulator reg(1e9);
+    reg.admit(0, 1000.0);
+    reg.reset();
+    EXPECT_EQ(reg.horizon(), 0u);
+    EXPECT_EQ(reg.admit(0, 10.0), 10u * tickNs);
+}
+
+TEST(LinkDirection, TransmitIncludesPropagation)
+{
+    LinkConfig cfg; // 15 GB/s raw per link
+    LinkDirection dir(cfg, nsToTicks(100.0));
+    // 150 bytes at 15 GB/s = 10 ns serialization + 100 ns propagation.
+    const Tick done = dir.transmit(0, 150);
+    EXPECT_EQ(done, nsToTicks(110.0));
+}
+
+TEST(LinkDirection, PerPacketOverheadCharged)
+{
+    LinkConfig cfg;
+    cfg.perPacketOverheadBytes = 30;
+    LinkDirection dir(cfg, 0);
+    EXPECT_EQ(dir.wireBytes(150), 180u);
+    const Tick done = dir.transmit(0, 150);
+    EXPECT_EQ(done, nsToTicks(12.0)); // 180 B at 15 GB/s
+}
+
+TEST(LinkDirection, SerializesConcurrentPackets)
+{
+    LinkConfig cfg;
+    LinkDirection dir(cfg, 0);
+    const Tick a = dir.transmit(0, 150);
+    const Tick b = dir.transmit(0, 150);
+    EXPECT_EQ(b, 2 * a); // second waits for the wire
+}
+
+class RegulatorRateSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RegulatorRateSweep, ThroughputNeverExceedsRate)
+{
+    const double rate = GetParam();
+    ThroughputRegulator reg(rate);
+    Tick done = 0;
+    Bytes total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        done = reg.admit(0, 128.0);
+        total += 128;
+    }
+    const double achieved = bytesPerSecond(total, done);
+    EXPECT_LE(achieved, rate * 1.001);
+    EXPECT_GE(achieved, rate * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RegulatorRateSweep,
+                         ::testing::Values(1e9, 7.5e9, 10e9, 15e9,
+                                           30e9));
+
+} // namespace
+} // namespace hmcsim

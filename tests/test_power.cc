@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the power model: traffic decomposition, the coupled
+ * power/thermal solve, the paper's failure set, and the cooling-power
+ * inversion used by Fig. 12.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/power_model.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+TrafficSummary
+roTraffic(double raw_gbps)
+{
+    // 128 B reads: payload is 128/160 of raw; 160 B per request.
+    TrafficSummary t;
+    t.rawGBps = raw_gbps;
+    t.readPayloadGBps = raw_gbps * 128.0 / 160.0;
+    t.readMrps = raw_gbps * 1000.0 / 160.0;
+    return t;
+}
+
+TrafficSummary
+woTraffic(double raw_gbps)
+{
+    TrafficSummary t;
+    t.rawGBps = raw_gbps;
+    t.writePayloadGBps = raw_gbps * 128.0 / 160.0;
+    t.writeMrps = raw_gbps * 1000.0 / 160.0;
+    return t;
+}
+
+TEST(PowerModel, ZeroTrafficZeroDynamicPower)
+{
+    const PowerModel model;
+    EXPECT_DOUBLE_EQ(model.hmcDynamicPower(TrafficSummary{}), 0.0);
+}
+
+TEST(PowerModel, DynamicPowerMonotonicInBandwidth)
+{
+    const PowerModel model;
+    double prev = -1.0;
+    for (double bw = 0.0; bw <= 25.0; bw += 5.0) {
+        const double p = model.hmcDynamicPower(roTraffic(bw));
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, WriteTrafficCostsMoreThanReadAtHighBandwidth)
+{
+    const PowerModel model;
+    EXPECT_GT(model.hmcDynamicPower(woTraffic(15.0)),
+              model.hmcDynamicPower(roTraffic(15.0)));
+}
+
+TEST(PowerModel, WritePowerIsSuperlinear)
+{
+    const PowerModel model;
+    const double p1 = model.hmcDynamicPower(woTraffic(5.0));
+    const double p2 = model.hmcDynamicPower(woTraffic(10.0));
+    EXPECT_GT(p2, 2.0 * p1);
+}
+
+TEST(PowerModel, SystemPowerIncludesIdleAndFpga)
+{
+    const PowerModel model;
+    const PowerThermalResult r = model.solve(
+        TrafficSummary{}, RequestMix::ReadOnly, coolingConfig(1));
+    // Idle: baseline plus the tiny metered leakage of sitting 0.1 C
+    // above the global leakage reference.
+    EXPECT_NEAR(r.systemW,
+                model.params().systemIdleW + model.params().fpgaActiveW,
+                0.05);
+    EXPECT_DOUBLE_EQ(r.hmcDynamicW, 0.0);
+}
+
+TEST(PowerModel, SolveCouplesPowerAndTemperature)
+{
+    const PowerModel model;
+    const TrafficSummary t = roTraffic(20.0);
+    const PowerThermalResult strong =
+        model.solve(t, RequestMix::ReadOnly, coolingConfig(1));
+    const PowerThermalResult weak =
+        model.solve(t, RequestMix::ReadOnly, coolingConfig(4));
+    // Same workload: weaker cooling -> hotter -> more leakage ->
+    // more wall power (Fig. 10's second observation).
+    EXPECT_GT(weak.temperatureC, strong.temperatureC);
+    EXPECT_GT(weak.leakageW, strong.leakageW);
+    EXPECT_GT(weak.systemW, strong.systemW);
+    EXPECT_DOUBLE_EQ(weak.hmcDynamicW, strong.hmcDynamicW);
+}
+
+TEST(PowerModel, PaperFailureSet)
+{
+    // The headline Sec. IV-C result: at full distributed load,
+    // read-only survives all four cooling configs, write-only fails
+    // Cfg3 and Cfg4, read-modify-write fails only Cfg4.
+    const PowerModel model;
+    const TrafficSummary ro = roTraffic(20.0);
+    TrafficSummary wo = woTraffic(15.8);
+    // rw at ~27 GB/s raw: both directions carry ~10.9 GB/s payload.
+    TrafficSummary rw;
+    rw.rawGBps = 27.3;
+    rw.readPayloadGBps = 10.9;
+    rw.writePayloadGBps = 10.9;
+    rw.readMrps = 85.0;
+    rw.writeMrps = 85.0;
+
+    for (unsigned c = 1; c <= 4; ++c) {
+        EXPECT_FALSE(model.solve(ro, RequestMix::ReadOnly,
+                                 coolingConfig(c))
+                         .failure)
+            << "ro Cfg" << c;
+    }
+    EXPECT_FALSE(
+        model.solve(wo, RequestMix::WriteOnly, coolingConfig(2)).failure);
+    EXPECT_TRUE(
+        model.solve(wo, RequestMix::WriteOnly, coolingConfig(3)).failure);
+    EXPECT_TRUE(
+        model.solve(wo, RequestMix::WriteOnly, coolingConfig(4)).failure);
+    EXPECT_FALSE(model.solve(rw, RequestMix::ReadModifyWrite,
+                             coolingConfig(3))
+                     .failure);
+    EXPECT_TRUE(model.solve(rw, RequestMix::ReadModifyWrite,
+                            coolingConfig(4))
+                    .failure);
+}
+
+TEST(PowerModel, ReadOnlyNearsButStaysUnder85InCfg4)
+{
+    const PowerModel model;
+    const PowerThermalResult r = model.solve(
+        roTraffic(20.0), RequestMix::ReadOnly, coolingConfig(4));
+    // Paper: temperature "reaches 80 C" without failure.
+    EXPECT_GT(r.temperatureC, 74.0);
+    EXPECT_LT(r.temperatureC, 85.0);
+}
+
+TEST(InterpolateCooling, ReproducesAnchorsAtTablePoints)
+{
+    for (const CoolingConfig &cfg : coolingConfigs()) {
+        const CoolingConfig interp =
+            interpolateCooling(cfg.coolingPowerW);
+        EXPECT_NEAR(interp.idleTemperatureC, cfg.idleTemperatureC, 1e-9)
+            << cfg.name;
+        EXPECT_NEAR(interp.thermalResistance, cfg.thermalResistance,
+                    1e-9)
+            << cfg.name;
+    }
+}
+
+TEST(InterpolateCooling, MonotonicBetweenAnchors)
+{
+    double prev_t = 1e9;
+    for (double w = 11.0; w <= 19.0; w += 0.5) {
+        const CoolingConfig c = interpolateCooling(w);
+        EXPECT_LT(c.idleTemperatureC, prev_t); // more cooling, cooler
+        prev_t = c.idleTemperatureC;
+    }
+}
+
+TEST(RequiredCoolingPower, MoreBandwidthNeedsMoreCooling)
+{
+    const PowerModel model;
+    const double w_low =
+        model.requiredCoolingPower(roTraffic(5.0), 60.0);
+    const double w_high =
+        model.requiredCoolingPower(roTraffic(20.0), 60.0);
+    ASSERT_FALSE(std::isnan(w_low));
+    ASSERT_FALSE(std::isnan(w_high));
+    EXPECT_GT(w_high, w_low);
+}
+
+TEST(RequiredCoolingPower, LowerTargetNeedsMoreCooling)
+{
+    const PowerModel model;
+    const double w55 = model.requiredCoolingPower(roTraffic(15.0), 55.0);
+    const double w65 = model.requiredCoolingPower(roTraffic(15.0), 65.0);
+    ASSERT_FALSE(std::isnan(w55));
+    ASSERT_FALSE(std::isnan(w65));
+    EXPECT_GT(w55, w65);
+}
+
+TEST(RequiredCoolingPower, UnreachableTargetIsNaN)
+{
+    const PowerModel model;
+    // 28 C is below what even the extrapolated strongest cooling can
+    // hold under load.
+    EXPECT_TRUE(std::isnan(
+        model.requiredCoolingPower(woTraffic(15.0), 28.0)));
+}
+
+TEST(RequiredCoolingPower, SolutionHoldsTheTarget)
+{
+    const PowerModel model;
+    const TrafficSummary t = roTraffic(18.0);
+    const double target = 58.0;
+    const double w = model.requiredCoolingPower(t, target);
+    ASSERT_FALSE(std::isnan(w));
+    const ThermalModel check(interpolateCooling(w));
+    const double achieved =
+        check.steadyState(model.hmcDynamicPower(t), RequestMix::ReadOnly)
+            .temperatureC;
+    EXPECT_NEAR(achieved, target, 0.05);
+}
+
+} // namespace
+} // namespace hmcsim

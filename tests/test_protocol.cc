@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the packet protocol: Table II flit arithmetic, raw-
+ * byte accounting, effective-bandwidth math, CRC, and the tag pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "protocol/crc.hh"
+#include "protocol/packet.hh"
+#include "protocol/tag_pool.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+// ---- Table II -------------------------------------------------------
+
+TEST(PacketSizes, ReadRequestIsOneFlit)
+{
+    for (Bytes payload = 16; payload <= 128; payload += 16)
+        EXPECT_EQ(requestFlits(Command::Read, payload), 1u);
+}
+
+TEST(PacketSizes, WriteResponseIsOneFlit)
+{
+    for (Bytes payload = 16; payload <= 128; payload += 16)
+        EXPECT_EQ(responseFlits(Command::Write, payload), 1u);
+}
+
+TEST(PacketSizes, ReadResponseCarriesDataPlusOverhead)
+{
+    EXPECT_EQ(responseFlits(Command::Read, 16), 2u);
+    EXPECT_EQ(responseFlits(Command::Read, 32), 3u);
+    EXPECT_EQ(responseFlits(Command::Read, 64), 5u);
+    EXPECT_EQ(responseFlits(Command::Read, 128), 9u);
+}
+
+TEST(PacketSizes, WriteRequestCarriesDataPlusOverhead)
+{
+    EXPECT_EQ(requestFlits(Command::Write, 16), 2u);
+    EXPECT_EQ(requestFlits(Command::Write, 128), 9u);
+}
+
+TEST(PacketSizes, TableIIRange)
+{
+    // "Total Size: 1 flit requests, 2~9 flit responses" for reads.
+    for (Bytes payload = 16; payload <= 128; payload += 16) {
+        const unsigned resp = responseFlits(Command::Read, payload);
+        EXPECT_GE(resp, 2u);
+        EXPECT_LE(resp, 9u);
+        const unsigned wreq = requestFlits(Command::Write, payload);
+        EXPECT_GE(wreq, 2u);
+        EXPECT_LE(wreq, 9u);
+    }
+}
+
+TEST(PacketSizes, NonPowerOfTwoPayloadsRoundUpToFlits)
+{
+    EXPECT_EQ(dataFlits(48), 3u);
+    EXPECT_EQ(dataFlits(80), 5u);
+    EXPECT_EQ(dataFlits(112), 7u);
+    EXPECT_EQ(dataFlits(1), 1u);
+    EXPECT_EQ(dataFlits(0), 0u);
+}
+
+TEST(PacketSizes, TransactionByteAccounting)
+{
+    // Read 128 B: 1-flit request + 9-flit response = 160 B on the
+    // links; this is the paper's "raw bandwidth" accounting unit.
+    EXPECT_EQ(transactionBytes(Command::Read, 128), 160u);
+    EXPECT_EQ(transactionBytes(Command::Write, 128), 160u);
+    EXPECT_EQ(transactionBytes(Command::Read, 32), 64u);
+    EXPECT_EQ(transactionBytes(Command::Read, 16), 48u);
+}
+
+TEST(PacketSizes, EffectiveBandwidthFractions)
+{
+    // Sec. IV-D: 128 B -> 89 %, 16 B -> 50 %.
+    EXPECT_NEAR(effectiveBandwidthFraction(128), 128.0 / 144.0, 1e-12);
+    EXPECT_NEAR(effectiveBandwidthFraction(16), 0.5, 1e-12);
+    // Monotonically increasing in payload.
+    double prev = 0.0;
+    for (Bytes payload = 16; payload <= 128; payload += 16) {
+        const double f = effectiveBandwidthFraction(payload);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Packet, HelperMethodsMatchFreeFunctions)
+{
+    Packet pkt;
+    pkt.cmd = Command::Write;
+    pkt.payload = 96;
+    EXPECT_EQ(pkt.reqFlits(), requestFlits(Command::Write, 96));
+    EXPECT_EQ(pkt.respBytes(), responseBytes(Command::Write, 96));
+}
+
+TEST(Packet, Names)
+{
+    EXPECT_STREQ(commandName(Command::Read), "READ");
+    EXPECT_STREQ(requestMixName(RequestMix::ReadModifyWrite), "rw");
+    EXPECT_STREQ(requestMixName(RequestMix::WriteOnly), "wo");
+}
+
+// ---- CRC ------------------------------------------------------------
+
+TEST(Crc32, DeterministicAndDataDependent)
+{
+    const char a[] = "hybrid memory cube";
+    const char b[] = "hybrid memory cubf";
+    EXPECT_EQ(Crc32::compute(a, sizeof(a)), Crc32::compute(a, sizeof(a)));
+    EXPECT_NE(Crc32::compute(a, sizeof(a)), Crc32::compute(b, sizeof(b)));
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const unsigned char data[64] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    Crc32 crc;
+    crc.update(data, 10);
+    crc.update(data + 10, 54);
+    EXPECT_EQ(crc.value(), Crc32::compute(data, 64));
+}
+
+TEST(Crc32, ResetRestartsComputation)
+{
+    const unsigned char data[16] = {0xAB};
+    Crc32 crc;
+    crc.update(data, 16);
+    const std::uint32_t first = crc.value();
+    crc.reset();
+    crc.update(data, 16);
+    EXPECT_EQ(crc.value(), first);
+}
+
+TEST(Crc32, DetectsSingleBitFlipsInAFlit)
+{
+    unsigned char flit[16] = {0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC,
+                              0xDE, 0xF0, 0x11, 0x22, 0x33, 0x44,
+                              0x55, 0x66, 0x77, 0x88};
+    const std::uint32_t good = Crc32::compute(flit, sizeof(flit));
+    for (int byte = 0; byte < 16; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            flit[byte] ^= static_cast<unsigned char>(1 << bit);
+            EXPECT_NE(Crc32::compute(flit, sizeof(flit)), good)
+                << "undetected flip at byte " << byte << " bit " << bit;
+            flit[byte] ^= static_cast<unsigned char>(1 << bit);
+        }
+    }
+}
+
+TEST(Crc32, EmptyInput)
+{
+    EXPECT_EQ(Crc32::compute(nullptr, 0), Crc32().value());
+}
+
+// ---- Tag pool --------------------------------------------------------
+
+TEST(TagPool, StartsFull)
+{
+    TagPool pool(64);
+    EXPECT_TRUE(pool.available());
+    EXPECT_EQ(pool.capacity(), 64u);
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(TagPool, ExhaustsAtDepth)
+{
+    TagPool pool(64);
+    std::set<std::uint16_t> tags;
+    for (int i = 0; i < 64; ++i)
+        tags.insert(pool.allocate());
+    EXPECT_EQ(tags.size(), 64u); // all distinct
+    EXPECT_FALSE(pool.available());
+    EXPECT_EQ(pool.inUse(), 64u);
+}
+
+TEST(TagPool, ReleaseMakesTagAvailableAgain)
+{
+    TagPool pool(2);
+    const auto t0 = pool.allocate();
+    const auto t1 = pool.allocate();
+    EXPECT_FALSE(pool.available());
+    pool.release(t0);
+    EXPECT_TRUE(pool.available());
+    const auto t2 = pool.allocate();
+    EXPECT_EQ(t2, t0);
+    pool.release(t1);
+    pool.release(t2);
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(TagPool, TagsAreInRange)
+{
+    TagPool pool(16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_LT(pool.allocate(), 16u);
+}
+
+class TagPoolChurn : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TagPoolChurn, AllocateReleaseCyclesPreserveCapacity)
+{
+    const unsigned depth = GetParam();
+    TagPool pool(depth);
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        std::vector<std::uint16_t> held;
+        for (unsigned i = 0; i < depth; ++i)
+            held.push_back(pool.allocate());
+        EXPECT_FALSE(pool.available());
+        for (auto tag : held)
+            pool.release(tag);
+        EXPECT_EQ(pool.inUse(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TagPoolChurn,
+                         ::testing::Values(1u, 2u, 8u, 64u, 256u));
+
+} // namespace
+} // namespace hmcsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the named-statistics registry and its wiring into the
+ * simulated platform's components.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/ac510.hh"
+#include "sim/stat_registry.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+TEST(StatRegistry, AddAndRead)
+{
+    StatRegistry reg;
+    std::uint64_t counter = 7;
+    reg.addValue("a.b.counter", "a test counter", &counter);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.has("a.b.counter"));
+    EXPECT_DOUBLE_EQ(reg.value("a.b.counter"), 7.0);
+    counter = 42;
+    EXPECT_DOUBLE_EQ(reg.value("a.b.counter"), 42.0);
+}
+
+TEST(StatRegistry, CallbackStats)
+{
+    StatRegistry reg;
+    int calls = 0;
+    reg.add("lazy", "computed on demand", [&calls] {
+        ++calls;
+        return 3.5;
+    });
+    EXPECT_EQ(calls, 0);
+    EXPECT_DOUBLE_EQ(reg.value("lazy"), 3.5);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(StatRegistry, DuplicateNamesRejected)
+{
+    StatRegistry reg;
+    reg.add("x", "", [] { return 0.0; });
+    EXPECT_DEATH(reg.add("x", "", [] { return 0.0; }), "duplicate");
+}
+
+TEST(StatRegistry, UnknownNameFatal)
+{
+    StatRegistry reg;
+    EXPECT_DEATH(reg.value("nope"), "unknown");
+}
+
+TEST(StatRegistry, PrefixMatching)
+{
+    StatRegistry reg;
+    reg.add("sys.hmc.reads", "", [] { return 1.0; });
+    reg.add("sys.hmc.writes", "", [] { return 2.0; });
+    reg.add("sys.ctrl.retries", "", [] { return 3.0; });
+    EXPECT_EQ(reg.matching("sys.hmc.").size(), 2u);
+    EXPECT_EQ(reg.matching("sys.").size(), 3u);
+    EXPECT_EQ(reg.matching("other").size(), 0u);
+    // Sorted by name.
+    const auto hmc = reg.matching("sys.hmc.");
+    EXPECT_EQ(hmc[0]->name, "sys.hmc.reads");
+    EXPECT_EQ(hmc[1]->name, "sys.hmc.writes");
+}
+
+TEST(StatRegistry, TextDumpContainsNamesValuesDescriptions)
+{
+    StatRegistry reg;
+    reg.add("alpha", "first stat", [] { return 1.25; });
+    const std::string text = reg.dumpText();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.25"), std::string::npos);
+    EXPECT_NE(text.find("# first stat"), std::string::npos);
+}
+
+TEST(StatRegistry, CsvDump)
+{
+    StatRegistry reg;
+    reg.add("b", "", [] { return 2.0; });
+    reg.add("a", "", [] { return 1.0; });
+    const std::string csv = reg.dumpCsv();
+    // Header + sorted rows.
+    EXPECT_EQ(csv, "stat,value\na,1\nb,2\n");
+}
+
+TEST(StatPathTest, Composition)
+{
+    const StatPath root("system");
+    EXPECT_EQ((root / "hmc" / "vault3" / "reads").str(),
+              "system.hmc.vault3.reads");
+    const StatPath empty("");
+    EXPECT_EQ((empty / "top").str(), "top");
+}
+
+TEST(StatRegistry, PlatformRegistersFullHierarchy)
+{
+    Ac510Config cfg;
+    Ac510Module module(cfg);
+    StatRegistry reg;
+    module.registerStats(reg, StatPath("system"));
+
+    // Controller, device, 16 vaults, 9 ports all present.
+    EXPECT_TRUE(reg.has("system.controller.requests_submitted"));
+    EXPECT_TRUE(reg.has("system.hmc.requests"));
+    EXPECT_TRUE(reg.has("system.hmc.vault0.reads"));
+    EXPECT_TRUE(reg.has("system.hmc.vault15.refreshes"));
+    EXPECT_TRUE(reg.has("system.port0.reads_issued"));
+    EXPECT_TRUE(reg.has("system.port8.read_latency_avg_ns"));
+    EXPECT_GT(reg.size(), 100u);
+}
+
+TEST(StatRegistry, PlatformStatsTrackActivity)
+{
+    Ac510Config cfg;
+    cfg.numPorts = 2;
+    cfg.port.requestBudget = 50;
+    Ac510Module module(cfg);
+    StatRegistry reg;
+    module.registerStats(reg, StatPath("sys"));
+
+    EXPECT_DOUBLE_EQ(reg.value("sys.hmc.requests"), 0.0);
+    module.start();
+    module.runToCompletion();
+    EXPECT_DOUBLE_EQ(reg.value("sys.hmc.requests"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.value("sys.controller.responses_delivered"),
+                     100.0);
+    EXPECT_DOUBLE_EQ(reg.value("sys.port0.reads_completed"), 50.0);
+    EXPECT_GT(reg.value("sys.port0.read_latency_avg_ns"), 500.0);
+
+    // Vault counters sum to the device total.
+    double vault_reads = 0.0;
+    for (const StatEntry *entry : reg.matching("sys.hmc.vault")) {
+        if (entry->name.find(".reads") != std::string::npos)
+            vault_reads += entry->value();
+    }
+    EXPECT_DOUBLE_EQ(vault_reads, 100.0);
+}
+
+} // namespace
+} // namespace hmcsim

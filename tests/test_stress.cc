@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Stress and fuzz tests: randomized system configurations run briefly
+ * while global invariants are asserted. These catch interactions the
+ * directed tests miss (odd sizes x patterns x mixes x hardware
+ * knobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gups/patterns.hh"
+#include "host/experiment.hh"
+#include "sim/random.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+/** Draw a random but valid experiment configuration. */
+ExperimentConfig
+randomConfig(Xoshiro256StarStar &rng)
+{
+    ExperimentConfig cfg;
+    cfg.seed = rng.next();
+
+    const Bytes sizes[] = {16, 32, 48, 64, 80, 96, 112, 128};
+    cfg.requestSize = sizes[rng.nextBounded(8)];
+
+    const RequestMix mixes[] = {RequestMix::ReadOnly,
+                                RequestMix::WriteOnly,
+                                RequestMix::ReadModifyWrite,
+                                RequestMix::Atomic};
+    cfg.mix = mixes[rng.nextBounded(4)];
+
+    cfg.mode = rng.nextBounded(2) ? AddressingMode::Linear
+                                  : AddressingMode::Random;
+    cfg.numPorts = 1 + static_cast<unsigned>(rng.nextBounded(9));
+
+    const MaxBlockSize blocks[] = {MaxBlockSize::B16, MaxBlockSize::B32,
+                                   MaxBlockSize::B64, MaxBlockSize::B128};
+    cfg.device.maxBlock = blocks[rng.nextBounded(4)];
+
+    const MappingScheme schemes[] = {MappingScheme::VaultFirst,
+                                     MappingScheme::BankFirst,
+                                     MappingScheme::ContiguousVault};
+    cfg.device.mapping = schemes[rng.nextBounded(3)];
+
+    if (rng.nextBounded(2)) {
+        cfg.device.vault.refreshEnabled = true;
+        cfg.device.vault.refreshMultiplier =
+            1.0 + rng.nextDouble() * 3.0;
+    }
+    if (rng.nextBounded(3) == 0)
+        cfg.controller.bitErrorRate = 1e-8 * (1 + rng.nextBounded(100));
+    if (rng.nextBounded(4) == 0)
+        cfg.device.vault.policy = PagePolicy::Open;
+
+    const AddressMapper mapper(cfg.device.structure, cfg.device.maxBlock,
+                               256, cfg.device.mapping);
+    if (rng.nextBounded(2)) {
+        cfg.pattern = vaultPattern(
+            mapper, 1u << rng.nextBounded(mapper.vaultBits() + 1));
+    } else {
+        cfg.pattern = bankPattern(
+            mapper, 1u << rng.nextBounded(mapper.bankBits() + 1));
+    }
+
+    cfg.warmup = 20 * tickUs;
+    cfg.measure = 100 * tickUs;
+    return cfg;
+}
+
+class FuzzedConfigs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzedConfigs, InvariantsHoldUnderRandomConfigs)
+{
+    Xoshiro256StarStar rng(0xF022 + GetParam());
+    const ExperimentConfig cfg = randomConfig(rng);
+    const MeasurementResult m = runExperiment(cfg);
+
+    // Something ran, nothing exceeded physics.
+    EXPECT_GT(m.mrps, 0.0) << cfg.pattern.name;
+    EXPECT_LT(m.rawGBps, 60.0);
+    // Latencies are physical (sub-infrastructure values impossible).
+    if (m.readLatencyNs.count() > 0) {
+        EXPECT_GT(m.readLatencyNs.min(), 300.0);
+        // Epsilon: with perfectly regular traffic all samples are
+        // equal and the running mean can differ from max by an ulp.
+        EXPECT_GE(m.readLatencyNs.max(), m.readLatencyNs.mean() - 1e-6);
+        EXPECT_GE(m.readLatencyNs.mean(), m.readLatencyNs.min() - 1e-6);
+    }
+    if (m.writeLatencyNs.count() > 0)
+        EXPECT_GT(m.writeLatencyNs.min(), 300.0);
+    // Byte accounting matches request counts.
+    const double bytes_per_req = m.rawGBps * 1000.0 / m.mrps;
+    EXPECT_GE(bytes_per_req, 47.0);   // >= atomic transaction
+    EXPECT_LE(bytes_per_req, 161.0);  // <= 128 B transaction
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedConfigs, ::testing::Range(0, 24));
+
+TEST(StressDrain, RandomConfigsAlwaysDrainCompletely)
+{
+    Xoshiro256StarStar rng(0xD2A1);
+    for (int trial = 0; trial < 8; ++trial) {
+        const ExperimentConfig cfg = randomConfig(rng);
+        Ac510Config sys;
+        sys.numPorts = cfg.numPorts;
+        sys.port.mix = cfg.mix;
+        sys.port.requestSize = cfg.requestSize;
+        sys.port.mode = cfg.mode;
+        sys.port.mask = cfg.pattern.mask;
+        sys.port.antiMask = cfg.pattern.antiMask;
+        sys.device = cfg.device;
+        sys.controller = cfg.controller;
+        sys.seed = cfg.seed;
+        Ac510Module module(sys);
+        module.start();
+        module.runUntil(150 * tickUs);
+        module.stop();
+        module.runToCompletion();
+        EXPECT_TRUE(module.allPortsIdle()) << "trial " << trial;
+        const GupsPortStats agg = module.aggregateStats();
+        EXPECT_EQ(agg.readsIssued, agg.readsCompleted);
+        EXPECT_EQ(agg.writesIssued, agg.writesCompleted);
+        EXPECT_EQ(module.controller().stats().requestsSubmitted,
+                  module.controller().stats().responsesDelivered);
+    }
+}
+
+TEST(StressEventQueue, ManyInterleavedSchedules)
+{
+    EventQueue queue;
+    Xoshiro256StarStar rng(0xE0E0);
+    std::uint64_t fired = 0;
+    Tick last = 0;
+    // Events randomly re-schedule follow-ups; ordering must hold.
+    for (int i = 0; i < 2000; ++i) {
+        queue.schedule(rng.nextBounded(1000000), [&] {
+            EXPECT_GE(queue.now(), last);
+            last = queue.now();
+            ++fired;
+            if (fired % 3 == 0) {
+                queue.scheduleIn(rng.nextBounded(1000) + 1, [&] {
+                    EXPECT_GE(queue.now(), last);
+                    last = queue.now();
+                    ++fired;
+                });
+            }
+        });
+    }
+    queue.runToCompletion();
+    EXPECT_GE(fired, 2000u);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(StressRegulator, AdmissionOrderIndependentTotals)
+{
+    // Total busy time depends only on the byte sum, not on the
+    // arrival pattern.
+    Xoshiro256StarStar rng(0xAB);
+    ThroughputRegulator burst(10e9), spread(10e9);
+    double total = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double bytes = 16.0 * (1 + rng.nextBounded(10));
+        total += bytes;
+        burst.admit(0, bytes);
+        spread.admit(i * 1000, bytes);
+    }
+    EXPECT_EQ(burst.busyTime(), spread.busyTime());
+    EXPECT_NEAR(static_cast<double>(burst.busyTime()),
+                total / 10e9 * 1e12, 1000.0);
+}
+
+TEST(PowerModelExtras, LinkSleepSavings)
+{
+    const PowerModel model;
+    // Always busy: nothing to reclaim.
+    EXPECT_DOUBLE_EQ(model.linkSleepSavings(1.0, 2), 0.0);
+    // Fully idle: standby minus sleep floor, per link.
+    const double full = model.linkSleepSavings(0.0, 2);
+    EXPECT_NEAR(full,
+                2 * model.params().linkStandbyW *
+                    (1.0 - model.params().linkSleepFraction),
+                1e-12);
+    // Monotonic in idleness and links.
+    EXPECT_LT(model.linkSleepSavings(0.5, 2), full);
+    EXPECT_LT(model.linkSleepSavings(0.0, 1), full);
+}
+
+} // namespace
+} // namespace hmcsim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the thermal model: Table III anchoring, steady-state
+ * fixed point, leakage coupling, transient convergence, and the
+ * failure bounds of Sec. IV-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/cooling.hh"
+#include "thermal/thermal_model.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+TEST(Cooling, TableIIIValues)
+{
+    const auto &cfgs = coolingConfigs();
+    ASSERT_EQ(cfgs.size(), 4u);
+    EXPECT_EQ(cfgs[0].name, "Cfg1");
+    EXPECT_DOUBLE_EQ(cfgs[0].idleTemperatureC, 43.1);
+    EXPECT_DOUBLE_EQ(cfgs[1].idleTemperatureC, 51.7);
+    EXPECT_DOUBLE_EQ(cfgs[2].idleTemperatureC, 62.3);
+    EXPECT_DOUBLE_EQ(cfgs[3].idleTemperatureC, 71.6);
+    EXPECT_DOUBLE_EQ(cfgs[0].coolingPowerW, 19.32);
+    EXPECT_DOUBLE_EQ(cfgs[3].coolingPowerW, 10.78);
+    EXPECT_DOUBLE_EQ(cfgs[0].fanVoltage, 12.0);
+    EXPECT_DOUBLE_EQ(cfgs[3].fanDistanceCm, 135.0);
+}
+
+TEST(Cooling, WeakerCoolingMeansHigherResistanceAndIdleTemp)
+{
+    const auto &cfgs = coolingConfigs();
+    for (std::size_t i = 1; i < cfgs.size(); ++i) {
+        EXPECT_GT(cfgs[i].thermalResistance,
+                  cfgs[i - 1].thermalResistance);
+        EXPECT_GT(cfgs[i].idleTemperatureC, cfgs[i - 1].idleTemperatureC);
+        EXPECT_LT(cfgs[i].coolingPowerW, cfgs[i - 1].coolingPowerW);
+    }
+}
+
+TEST(Cooling, OneBasedAccessor)
+{
+    EXPECT_EQ(coolingConfig(1).name, "Cfg1");
+    EXPECT_EQ(coolingConfig(4).name, "Cfg4");
+}
+
+TEST(ThermalModel, IdleReproducesTableIII)
+{
+    for (const CoolingConfig &cfg : coolingConfigs()) {
+        const ThermalModel model(cfg);
+        const ThermalResult r =
+            model.steadyState(0.0, RequestMix::ReadOnly);
+        EXPECT_DOUBLE_EQ(r.temperatureC, cfg.idleTemperatureC)
+            << cfg.name;
+        EXPECT_DOUBLE_EQ(r.leakagePowerW, 0.0);
+        EXPECT_FALSE(r.failure);
+    }
+}
+
+TEST(ThermalModel, TemperatureMonotonicInPower)
+{
+    const ThermalModel model(coolingConfig(2));
+    double prev = 0.0;
+    for (double p = 0.0; p <= 10.0; p += 1.0) {
+        const double t =
+            model.steadyState(p, RequestMix::ReadOnly).temperatureC;
+        EXPECT_GT(t, prev - 1e-9);
+        prev = t;
+    }
+}
+
+TEST(ThermalModel, LeakageAmplifiesBeyondRTimesP)
+{
+    // With positive leakage feedback, dT > R * P.
+    const CoolingConfig &cfg = coolingConfig(3);
+    const ThermalModel model(cfg);
+    const double p = 5.0;
+    const double t =
+        model.steadyState(p, RequestMix::ReadOnly).temperatureC;
+    EXPECT_GT(t - cfg.idleTemperatureC, cfg.thermalResistance * p);
+}
+
+TEST(ThermalModel, SteadyStateIsSelfConsistent)
+{
+    // T must satisfy T = T_idle + R (P + leak(T)) exactly.
+    const CoolingConfig &cfg = coolingConfig(4);
+    const ThermalModel model(cfg);
+    const double p = 6.0;
+    const ThermalResult r = model.steadyState(p, RequestMix::WriteOnly);
+    const double reconstructed =
+        cfg.idleTemperatureC +
+        cfg.thermalResistance * (p + model.leakagePower(r.temperatureC));
+    EXPECT_NEAR(r.temperatureC, reconstructed, 1e-9);
+}
+
+TEST(ThermalModel, FailureBoundsDependOnMix)
+{
+    EXPECT_DOUBLE_EQ(ThermalModel::temperatureLimit(RequestMix::ReadOnly),
+                     85.0);
+    EXPECT_DOUBLE_EQ(
+        ThermalModel::temperatureLimit(RequestMix::WriteOnly), 75.0);
+    EXPECT_DOUBLE_EQ(
+        ThermalModel::temperatureLimit(RequestMix::ReadModifyWrite),
+        75.0);
+}
+
+TEST(ThermalModel, WritesFailBeforeReadsAtTheSameTemperature)
+{
+    const ThermalModel model(coolingConfig(4));
+    // Find a power that lands between the two bounds.
+    const double p =
+        (80.0 - coolingConfig(4).idleTemperatureC) /
+        coolingConfig(4).thermalResistance;
+    const ThermalResult rd = model.steadyState(p, RequestMix::ReadOnly);
+    const ThermalResult wr = model.steadyState(p, RequestMix::WriteOnly);
+    EXPECT_DOUBLE_EQ(rd.temperatureC, wr.temperatureC);
+    EXPECT_FALSE(rd.failure);
+    EXPECT_TRUE(wr.failure);
+}
+
+TEST(ThermalModel, TransientConvergesToSteadyState)
+{
+    const ThermalModel model(coolingConfig(2));
+    const double p = 4.0;
+    const double target =
+        model.steadyState(p, RequestMix::ReadOnly).temperatureC;
+    double t = coolingConfig(2).idleTemperatureC;
+    // The paper runs 200 s and observes stability; so do we.
+    for (int s = 0; s < 200; ++s)
+        t = model.step(t, p, 1.0);
+    EXPECT_NEAR(t, target, 0.05);
+}
+
+TEST(ThermalModel, TransientMonotonicApproachFromBothSides)
+{
+    const ThermalModel model(coolingConfig(1));
+    const double p = 3.0;
+    const double target =
+        model.steadyState(p, RequestMix::ReadOnly).temperatureC;
+    // From below.
+    double low = coolingConfig(1).idleTemperatureC;
+    double prev = low;
+    for (int s = 0; s < 50; ++s) {
+        low = model.step(low, p, 1.0);
+        EXPECT_GE(low, prev - 1e-9);
+        prev = low;
+    }
+    EXPECT_LE(low, target + 1e-6);
+    // From above.
+    double high = target + 20.0;
+    prev = high;
+    for (int s = 0; s < 50; ++s) {
+        high = model.step(high, p, 1.0);
+        EXPECT_LE(high, prev + 1e-9);
+        prev = high;
+    }
+    EXPECT_GE(high, target - 1e-6);
+}
+
+TEST(ThermalModel, TimeConstantIsTensOfSeconds)
+{
+    // The paper waits 200 s for stability; our R*C should be in the
+    // tens of seconds so that 200 s is comfortably settled.
+    for (const CoolingConfig &cfg : coolingConfigs()) {
+        const double tau = cfg.thermalResistance * ThermalParams{}.capacitance;
+        EXPECT_GT(tau, 10.0);
+        EXPECT_LT(tau, 200.0);
+    }
+}
+
+TEST(ThermalModel, HeatsinkOffsetConstantIsInPaperRange)
+{
+    // Sec. III-A: heatsink surface is 5-10 C below the junction.
+    EXPECT_GE(heatsinkToJunctionOffsetC, 5.0);
+    EXPECT_LE(heatsinkToJunctionOffsetC, 10.0);
+}
+
+} // namespace
+} // namespace hmcsim
