@@ -18,6 +18,9 @@
  *       --csv                      machine-readable one-line output
  *       --stats [prefix]           dump the component statistics
  *       --trace FILE [--window N]  replay a trace file instead
+ *       --selfcheck                determinism self-check: run the
+ *                                  config twice (short window) and
+ *                                  compare stat-registry digests
  *
  * Examples:
  *     hmcsim_cli --mix rw
@@ -50,7 +53,7 @@ usage(const char *argv0)
                  "[--vaults N | --banks N] [--ports N] [--linear] "
                  "[--cooling 1..4] [--measure-us N] [--maxblock N] "
                  "[--mapping vault|bank|contig] [--ber X] "
-                 "[--refresh X] [--csv]\n",
+                 "[--refresh X] [--csv] [--selfcheck]\n",
                  argv0);
     std::exit(2);
 }
@@ -73,6 +76,7 @@ main(int argc, char **argv)
     unsigned vaults = 16;
     unsigned banks = 0;
     bool csv = false;
+    bool selfcheck = false;
     bool dump_stats = false;
     std::string stats_prefix;
     std::string trace_file;
@@ -130,6 +134,8 @@ main(int argc, char **argv)
                 std::strtod(next(argc, argv, i), nullptr);
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--selfcheck") {
+            selfcheck = true;
         } else if (arg == "--stats") {
             dump_stats = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
@@ -141,6 +147,33 @@ main(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (selfcheck) {
+        // Two back-to-back runs of the configured workload must be
+        // bit-identical; keep the window short, the point is identity
+        // rather than statistics.
+        const AddressMapper m(cfg.device.structure, cfg.device.maxBlock,
+                              256, cfg.device.mapping);
+        cfg.pattern = banks ? bankPattern(m, banks)
+                            : vaultPattern(m, vaults);
+        cfg.warmup = 10 * tickUs;
+        if (cfg.measure > 100 * tickUs)
+            cfg.measure = 100 * tickUs;
+        const SelfCheckResult r = runSelfCheck(cfg);
+        std::printf("selfcheck    : %zu stats, digests %016llx / "
+                    "%016llx\n",
+                    r.numStats,
+                    static_cast<unsigned long long>(r.digestFirst),
+                    static_cast<unsigned long long>(r.digestSecond));
+        if (r.identical()) {
+            std::printf("determinism  : ok (runs bit-identical)\n");
+            return 0;
+        }
+        std::fprintf(stderr,
+                     "determinism  : FAILED, first mismatch at '%s'\n",
+                     r.firstMismatch.c_str());
+        return 1;
     }
 
     if (!trace_file.empty()) {

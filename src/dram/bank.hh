@@ -11,8 +11,14 @@
 #define HMCSIM_DRAM_BANK_HH
 
 #include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "dram/timings.hh"
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace hmcsim
@@ -73,6 +79,40 @@ class Bank
     /** Busy time accumulated, for utilization. */
     Tick busyTime() const { return _busyTime; }
 
+    /**
+     * Audit the state machine against the configured row policy.
+     * Closed-page banks must never hold a row open between accesses,
+     * accumulated busy time cannot exceed the busy horizon (busy
+     * intervals never overlap), and row hits cannot outnumber
+     * accesses. @return Empty when legal, else a report.
+     */
+    std::string
+    validate(PagePolicy policy) const
+    {
+        std::ostringstream out;
+        if (policy == PagePolicy::Closed && rowOpen) {
+            out << "closed-page bank left row " << openRow << " open";
+            return out.str();
+        }
+        if (policy == PagePolicy::Closed && numRowHits > 0) {
+            out << "closed-page bank recorded " << numRowHits
+                << " row hits";
+            return out.str();
+        }
+        if (_busyTime > busyUntil) {
+            out << "busy time " << _busyTime
+                << " exceeds busy horizon " << busyUntil
+                << " (overlapping row cycles)";
+            return out.str();
+        }
+        if (numRowHits > numAccesses) {
+            out << numRowHits << " row hits for only " << numAccesses
+                << " accesses";
+            return out.str();
+        }
+        return {};
+    }
+
     void reset();
 
   private:
@@ -82,6 +122,43 @@ class Bank
     std::uint64_t numAccesses = 0;
     std::uint64_t numRowHits = 0;
     Tick _busyTime = 0;
+};
+
+/**
+ * Invariant checker over a set of banks (one vault's worth): each
+ * bank's state machine must stay legal for the vault's row policy.
+ * The banks are referenced through an accessor so the checker tracks
+ * the owner's live container even if it reallocates.
+ */
+class BankStateChecker : public InvariantChecker
+{
+  public:
+    using BanksFn = std::function<const std::vector<Bank> &()>;
+
+    BankStateChecker(std::string name, PagePolicy policy, BanksFn banks)
+        : InvariantChecker(std::move(name)), policy(policy),
+          banks(std::move(banks))
+    {
+    }
+
+    std::string
+    check(Tick) const override
+    {
+        const std::vector<Bank> &set = banks();
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            std::string report = set[i].validate(policy);
+            if (!report.empty()) {
+                std::ostringstream out;
+                out << "bank " << i << ": " << report;
+                return out.str();
+            }
+        }
+        return {};
+    }
+
+  private:
+    PagePolicy policy;
+    BanksFn banks;
 };
 
 } // namespace hmcsim

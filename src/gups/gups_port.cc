@@ -1,7 +1,10 @@
 #include "gups/gups_port.hh"
 
+#include <memory>
+#include <sstream>
 #include <utility>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace hmcsim
@@ -154,6 +157,28 @@ GupsPort::issueOne()
 }
 
 void
+GupsPort::registerCheckers(CheckerRegistry &registry,
+                           const std::string &name) const
+{
+    // A tag is allocated per outstanding tagged request and nothing
+    // else; any drift is a leak or a live-tag reuse.
+    registry.add(std::make_unique<TagPoolChecker>(
+        name + ".tags", tags,
+        [this] { return static_cast<std::uint64_t>(outstandingReads); }));
+    // Write FIFO credits obey the same conservation law as tags.
+    registry.addLambda(name + ".write_credits",
+                       [this](Tick) -> std::string {
+        if (writeCredits + outstandingWrites == cfg.writeCreditDepth)
+            return {};
+        std::ostringstream out;
+        out << "write-credit conservation broken: credits="
+            << writeCredits << " + outstanding=" << outstandingWrites
+            << " != depth=" << cfg.writeCreditDepth;
+        return out.str();
+    });
+}
+
+void
 GupsPort::registerStats(StatRegistry &registry,
                         const StatPath &path) const
 {
@@ -193,7 +218,9 @@ GupsPort::onResponse(const Packet &pkt)
     switch (pkt.cmd) {
       case Command::Read:
       case Command::Atomic:
-        HMCSIM_ASSERT(outstandingReads > 0, "stray read response");
+        HMCSIM_CHECK(outstandingReads > 0,
+                     "stray read response (port %u, packet id %llu)",
+                     portId, static_cast<unsigned long long>(pkt.id));
         --outstandingReads;
         tags.release(pkt.tag);
         ++_stats.readsCompleted;
@@ -205,7 +232,9 @@ GupsPort::onResponse(const Packet &pkt)
             pendingRmwWrites.push_back(pkt.addr);
         break;
       case Command::Write:
-        HMCSIM_ASSERT(outstandingWrites > 0, "stray write response");
+        HMCSIM_CHECK(outstandingWrites > 0,
+                     "stray write response (port %u, packet id %llu)",
+                     portId, static_cast<unsigned long long>(pkt.id));
         --outstandingWrites;
         ++writeCredits;
         ++_stats.writesCompleted;

@@ -131,6 +131,14 @@ class GupsPort
 
     /** Register this port's monitoring counters under @p path. */
     void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+    /**
+     * Register this port's model invariants (tag-pool accounting,
+     * write-credit conservation) under @p name. The port must outlive
+     * the registry.
+     */
+    void registerCheckers(CheckerRegistry &registry,
+                          const std::string &name) const;
     /** Clear monitoring counters (e.g. after warm-up). */
     void resetStats() { _stats = GupsPortStats{}; }
 

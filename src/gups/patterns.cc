@@ -22,9 +22,10 @@ fillSpans(const AddressMapper &mapper, AccessPattern &pattern)
                      mapper.bankShift() + mapper.bankBits() - 1);
     const unsigned free_vault_bits =
         mapper.vaultBits() -
-        std::popcount(pattern.mask & vault_field);
+        static_cast<unsigned>(std::popcount(pattern.mask & vault_field));
     const unsigned free_bank_bits =
-        mapper.bankBits() - std::popcount(pattern.mask & bank_field);
+        mapper.bankBits() -
+        static_cast<unsigned>(std::popcount(pattern.mask & bank_field));
     pattern.vaultSpan = 1u << free_vault_bits;
     pattern.bankSpan = pattern.vaultSpan * (1u << free_bank_bits);
 }

@@ -100,6 +100,15 @@ HmcDevice::registerStats(StatRegistry &registry,
 }
 
 void
+HmcDevice::registerCheckers(CheckerRegistry &registry,
+                            const std::string &name) const
+{
+    for (unsigned i = 0; i < numVaults(); ++i)
+        vaults[i]->registerCheckers(registry,
+                                    name + ".vault" + std::to_string(i));
+}
+
+void
 HmcDevice::applyTemperature(double temperature_c)
 {
     const double multiplier =

@@ -91,6 +91,10 @@ class HmcDevice
     /** Register device + per-vault counters under @p path. */
     void registerStats(StatRegistry &registry, const StatPath &path) const;
 
+    /** Register every vault's model invariants under @p name. */
+    void registerCheckers(CheckerRegistry &registry,
+                          const std::string &name) const;
+
     VaultController &vault(unsigned idx) { return *vaults.at(idx); }
     const VaultController &vault(unsigned idx) const
     {

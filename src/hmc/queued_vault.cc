@@ -1,5 +1,7 @@
 #include "hmc/queued_vault.hh"
 
+#include <memory>
+#include <sstream>
 #include <utility>
 
 #include "dram/bank.hh"
@@ -18,6 +20,54 @@ QueuedVaultController::QueuedVaultController(const QueuedVaultConfig &cfg,
       banks(cfg.base.numBanks),
       bankQueues(cfg.base.numBanks)
 {
+}
+
+void
+QueuedVaultController::registerCheckers(CheckerRegistry &registry,
+                                        const std::string &name) const
+{
+    registry.addLambda(name + ".queues", [this](Tick) -> std::string {
+        if (cfg.perBankQueueDepth != 0) {
+            for (std::size_t b = 0; b < bankQueues.size(); ++b) {
+                if (bankQueues[b].size() > cfg.perBankQueueDepth) {
+                    std::ostringstream out;
+                    out << "bank " << b << " queue holds "
+                        << bankQueues[b].size()
+                        << " requests, limit "
+                        << cfg.perBankQueueDepth;
+                    return out.str();
+                }
+            }
+        }
+        // Admission happens at bank-access start, but every in-flight
+        // bank access later deposits into the stage without another
+        // check -- occupancy may legitimately reach limit-1 plus one
+        // entry per bank. Anything above that is a lost-wakeup or
+        // double-push bug.
+        if (cfg.busQueueLimit != 0 &&
+            busQueue.size() + (busBusy ? 1u : 0u) >
+                cfg.busQueueLimit + bankQueues.size()) {
+            std::ostringstream out;
+            out << "bus stage holds " << busQueue.size()
+                << " waiting + " << (busBusy ? 1 : 0)
+                << " in flight, beyond limit " << cfg.busQueueLimit
+                << " + " << bankQueues.size() << " banks";
+            return out.str();
+        }
+        return {};
+    });
+    registry.add(std::make_unique<BankStateChecker>(
+        name + ".banks", cfg.base.policy,
+        [this]() -> const std::vector<Bank> & { return banks; }));
+    registry.addLambda(name + ".stats", [this](Tick) -> std::string {
+        if (_stats.completed > _stats.accepted) {
+            std::ostringstream out;
+            out << _stats.completed << " completions for only "
+                << _stats.accepted << " accepted requests";
+            return out.str();
+        }
+        return {};
+    });
 }
 
 bool

@@ -28,6 +28,7 @@
 
 #include "hmc/vault_controller.hh"
 #include "protocol/packet.hh"
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 
 namespace hmcsim
@@ -76,6 +77,16 @@ class QueuedVaultController
      *         must hold the request and retry -- backpressure).
      */
     bool offer(const Packet &pkt);
+
+    /**
+     * Register this vault's model invariants under @p name: per-bank
+     * queue occupancy within the configured depth, bank-to-bus stage
+     * occupancy within its limit plus one slot per in-flight bank,
+     * bank state-machine legality, and completion/acceptance counter
+     * sanity. The vault must outlive the registry.
+     */
+    void registerCheckers(CheckerRegistry &registry,
+                          const std::string &name) const;
 
     const QueuedVaultStats &stats() const { return _stats; }
 

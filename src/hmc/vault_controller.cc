@@ -1,5 +1,8 @@
 #include "hmc/vault_controller.hh"
 
+#include <memory>
+#include <sstream>
+
 namespace hmcsim
 {
 
@@ -129,6 +132,26 @@ VaultController::registerStats(StatRegistry &registry,
     registry.add((path / "bus_busy_us").str(),
                  "TSV data-bus busy time",
                  [this] { return ticksToUs(dataBus.busyTime()); });
+}
+
+void
+VaultController::registerCheckers(CheckerRegistry &registry,
+                                  const std::string &name) const
+{
+    registry.add(std::make_unique<BankStateChecker>(
+        name + ".banks", cfg.policy,
+        [this]() -> const std::vector<Bank> & { return banks; }));
+    registry.addLambda(name + ".stats", [this](Tick) -> std::string {
+        const std::uint64_t accesses =
+            _stats.reads + _stats.writes + _stats.atomics;
+        if (_stats.rowHits > accesses) {
+            std::ostringstream out;
+            out << _stats.rowHits << " row hits for only " << accesses
+                << " serviced requests";
+            return out.str();
+        }
+        return {};
+    });
 }
 
 double

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dram/bank.hh"
+#include "sim/check.hh"
 #include "sim/stat_registry.hh"
 #include "dram/timings.hh"
 #include "link/link.hh"
@@ -101,6 +102,14 @@ class VaultController
      * outlive the registry.
      */
     void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+    /**
+     * Register this vault's model invariants (bank state-machine
+     * legality, counter sanity) under @p name. The vault must outlive
+     * the registry.
+     */
+    void registerCheckers(CheckerRegistry &registry,
+                          const std::string &name) const;
 
     const Bank &bank(unsigned idx) const { return banks.at(idx); }
     /** Utilization of the TSV data bus over @p elapsed ticks. */

@@ -33,6 +33,27 @@ Ac510Module::Ac510Module(const Ac510Config &cfg) : cfg(cfg)
             },
             cfg.seed));
     }
+
+    // Debug builds audit every model invariant as the queue drains;
+    // release builds skip the sweep unless a caller opts in. The
+    // sweep touches every port's tag pool and every vault's banks, so
+    // the automatic interval is throttled -- violations still surface
+    // within 64 events of the offending one, and targeted debugging
+    // can call enableInvariantChecks(1) for event-exact blame.
+    if (dchecksEnabled())
+        enableInvariantChecks(64);
+}
+
+void
+Ac510Module::enableInvariantChecks(std::uint64_t every_n)
+{
+    _checkers.clear();
+    _controller->registerCheckers(_checkers, "system.controller");
+    _device->registerCheckers(_checkers, "system.hmc");
+    for (unsigned i = 0; i < ports.size(); ++i)
+        ports[i]->registerCheckers(_checkers,
+                                   "system.port" + std::to_string(i));
+    _queue.setCheckers(&_checkers, every_n);
 }
 
 void

@@ -18,6 +18,7 @@
 #include "hmc/device.hh"
 #include "host/calibration.hh"
 #include "host/hmc_controller.hh"
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 
 namespace hmcsim
@@ -79,6 +80,18 @@ class Ac510Module
      */
     void registerStats(StatRegistry &registry, const StatPath &path) const;
 
+    /**
+     * Attach every component's invariant checkers to the event
+     * queue's drain points. Called automatically by the constructor
+     * when debug checks are compiled in (HMCSIM_DCHECK_ENABLED);
+     * callable explicitly in release builds for targeted debugging.
+     * @param every_n Run the checkers after every n-th event.
+     */
+    void enableInvariantChecks(std::uint64_t every_n = 1);
+
+    /** The module's checker registry (empty until enabled). */
+    CheckerRegistry &checkers() { return _checkers; }
+
     EventQueue &queue() { return _queue; }
     HmcDevice &device() { return *_device; }
     HmcController &controller() { return *_controller; }
@@ -95,6 +108,7 @@ class Ac510Module
     std::unique_ptr<HmcDevice> _device;
     std::unique_ptr<HmcController> _controller;
     std::vector<std::unique_ptr<GupsPort>> ports;
+    CheckerRegistry _checkers;
 };
 
 } // namespace hmcsim

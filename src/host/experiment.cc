@@ -1,5 +1,9 @@
 #include "host/experiment.hh"
 
+#include <cstring>
+#include <utility>
+#include <vector>
+
 namespace hmcsim
 {
 
@@ -62,6 +66,57 @@ runExperiment(const ExperimentConfig &cfg)
     if (agg.readLatencyHistNs.totalSamples() > 0) {
         res.readLatencyP50Ns = agg.readLatencyHistNs.quantile(0.5);
         res.readLatencyP99Ns = agg.readLatencyHistNs.quantile(0.99);
+    }
+    return res;
+}
+
+SelfCheckResult
+runSelfCheck(const ExperimentConfig &cfg)
+{
+    struct Run
+    {
+        std::uint64_t digest;
+        std::vector<std::pair<std::string, double>> values;
+    };
+
+    const auto once = [&cfg]() -> Run {
+        Ac510Module module(makeSystemConfig(cfg));
+        StatRegistry registry;
+        module.registerStats(registry, StatPath("system"));
+        module.start();
+        module.runUntil(cfg.warmup);
+        module.resetPortStats();
+        module.runUntil(cfg.warmup + cfg.measure);
+
+        Run run;
+        run.digest = registry.digest();
+        for (const StatEntry *entry : registry.matching(""))
+            run.values.emplace_back(entry->name, entry->value());
+        return run;
+    };
+
+    const Run first = once();
+    const Run second = once();
+
+    SelfCheckResult res;
+    res.digestFirst = first.digest;
+    res.digestSecond = second.digest;
+    res.numStats = first.values.size();
+    if (!res.identical()) {
+        for (std::size_t i = 0;
+             i < first.values.size() && i < second.values.size(); ++i) {
+            // Bit-exact value comparison (matches the digest; a NaN
+            // with identical bits is *not* a mismatch).
+            if (first.values[i].first != second.values[i].first ||
+                std::memcmp(&first.values[i].second,
+                            &second.values[i].second,
+                            sizeof(double)) != 0) {
+                res.firstMismatch = first.values[i].first;
+                break;
+            }
+        }
+        if (res.firstMismatch.empty())
+            res.firstMismatch = "<registry structure differs>";
     }
     return res;
 }

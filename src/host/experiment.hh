@@ -78,6 +78,29 @@ Ac510Config makeSystemConfig(const ExperimentConfig &cfg);
 /** Run a bandwidth/latency experiment. */
 MeasurementResult runExperiment(const ExperimentConfig &cfg);
 
+/** Outcome of a determinism self-check (two identical runs). */
+struct SelfCheckResult
+{
+    /** Stat-registry digest of each run. */
+    std::uint64_t digestFirst = 0;
+    std::uint64_t digestSecond = 0;
+    /** Statistics registered (identical structure both runs). */
+    std::size_t numStats = 0;
+    /** Name of the first statistic whose value differed, if any. */
+    std::string firstMismatch;
+    bool identical() const { return digestFirst == digestSecond; }
+};
+
+/**
+ * Determinism self-check: build the same system twice from @p cfg,
+ * run both for warmup+measure, and compare bit-exact stat-registry
+ * digests. Catches iteration-order and uninitialized-read
+ * nondeterminism that sanitizers and the invariant checkers miss --
+ * a simulation whose result depends on allocator layout produces
+ * different digests here long before anyone notices a wobbly figure.
+ */
+SelfCheckResult runSelfCheck(const ExperimentConfig &cfg);
+
 /** A measurement plus its steady-state power/thermal solution. */
 struct ThermalExperimentResult
 {

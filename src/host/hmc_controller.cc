@@ -1,8 +1,11 @@
 #include "host/hmc_controller.hh"
 
+#include <memory>
+#include <sstream>
 #include <utility>
 
 #include "protocol/fields.hh"
+#include "sim/check.hh"
 
 namespace hmcsim
 {
@@ -22,6 +25,7 @@ HmcController::HmcController(const ControllerCalibration &cal,
         if (cal.inputBufferFlits > 0) {
             tokens.emplace_back(cal.inputBufferFlits);
             parked.emplace_back();
+            inFlightFlits.push_back(0);
         }
     }
 }
@@ -30,7 +34,8 @@ void
 HmcController::submitRequest(Packet &&pkt)
 {
     ++_stats.requestsSubmitted;
-    const unsigned link = pkt.link % txLinks.size();
+    const unsigned link =
+        static_cast<unsigned>(pkt.link % txLinks.size());
     pkt.link = static_cast<std::uint8_t>(link);
 
     // The Add-Seq# / Add-CRC stages of Fig. 14: stamp the on-the-wire
@@ -41,10 +46,13 @@ HmcController::submitRequest(Packet &&pkt)
     // Request flow control (Fig. 14 stage 5): without cube buffer
     // tokens, the request waits in the controller; the stop signal is
     // implicit in the parked queue.
-    if (!tokens.empty() && !tokens[link].consume(pkt.reqFlits())) {
-        ++_stats.flowControlStalls;
-        parked[link].push_back(std::move(pkt));
-        return;
+    if (!tokens.empty()) {
+        if (!tokens[link].consume(pkt.reqFlits())) {
+            ++_stats.flowControlStalls;
+            parked[link].push_back(std::move(pkt));
+            return;
+        }
+        inFlightFlits[link] += pkt.reqFlits();
     }
 
     startTransmit(std::move(pkt));
@@ -65,7 +73,8 @@ HmcController::startTransmit(Packet &&pkt)
         // The cube decodes, routes, and services the request; it tells
         // us when the response starts back on the RX wire.
         const Tick resp_ready = device.handleRequest(pkt, queue.now());
-        const unsigned rx_link = pkt.link % rxLinks.size();
+        const unsigned rx_link =
+            static_cast<unsigned>(pkt.link % rxLinks.size());
 
         queue.schedule(resp_ready, [this, pkt, rx_link]() mutable {
             _stats.rxWireBytes += rxLinks[rx_link]->wireBytes(pkt.respBytes());
@@ -82,12 +91,17 @@ HmcController::startTransmit(Packet &&pkt)
                 // requests (deassert the stop signal).
                 if (!tokens.empty()) {
                     const unsigned rx = pkt.link;
+                    HMCSIM_DCHECK(inFlightFlits[rx] >= pkt.reqFlits(),
+                                  "returning more flits than in flight "
+                                  "on link %u", rx);
+                    inFlightFlits[rx] -= pkt.reqFlits();
                     tokens[rx].returnTokens(pkt.reqFlits());
                     while (!parked[rx].empty() &&
                            tokens[rx].consume(
                                parked[rx].front().reqFlits())) {
                         Packet next = std::move(parked[rx].front());
                         parked[rx].pop_front();
+                        inFlightFlits[rx] += next.reqFlits();
                         startTransmit(std::move(next));
                     }
                 }
@@ -106,6 +120,34 @@ HmcController::linkRetries() const
     for (const auto &link : rxLinks)
         total += link->retries();
     return total;
+}
+
+void
+HmcController::registerCheckers(CheckerRegistry &registry,
+                                const std::string &name) const
+{
+    for (std::size_t link = 0; link < tokens.size(); ++link) {
+        const std::string base =
+            name + ".link" + std::to_string(link);
+        registry.add(std::make_unique<TokenConservationChecker>(
+            base + ".tokens", tokens[link],
+            [this, link] { return inFlightFlits[link]; }));
+        // Stop-signal consistency: after an event drains, a parked
+        // request means the head of the parked queue does not fit in
+        // the remaining tokens (otherwise the release loop lost it).
+        registry.addLambda(base + ".stop_signal",
+                           [this, link](Tick) -> std::string {
+            if (parked[link].empty() ||
+                !tokens[link].canSend(parked[link].front().reqFlits()))
+                return {};
+            std::ostringstream out;
+            out << parked[link].size()
+                << " requests parked although " << tokens[link].tokens()
+                << " tokens cover the head request's "
+                << parked[link].front().reqFlits() << " flits";
+            return out.str();
+        });
+    }
 }
 
 void

@@ -87,6 +87,16 @@ class HmcController
     /** Register controller counters under @p path. */
     void registerStats(StatRegistry &registry, const StatPath &path) const;
 
+    /**
+     * Register the controller's model invariants under @p name:
+     * per-link flow-control token conservation (available + in-flight
+     * == capacity) and stop-signal consistency (a parked request
+     * implies insufficient tokens for it). The controller must
+     * outlive the registry.
+     */
+    void registerCheckers(CheckerRegistry &registry,
+                          const std::string &name) const;
+
   private:
     /** Start the TX pipeline for a request (tokens already held). */
     void startTransmit(Packet &&pkt);
@@ -101,6 +111,9 @@ class HmcController
     std::vector<TokenFlowControl> tokens;
     /** Requests parked by the stop signal, per link. */
     std::vector<std::deque<Packet>> parked;
+    /** Independent count of flits holding tokens, per link (audited
+     *  against `tokens` by the conservation checker). */
+    std::vector<std::uint64_t> inFlightFlits;
     ControllerStats _stats;
 };
 

@@ -23,8 +23,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -66,10 +71,15 @@ class TokenFlowControl
     void
     returnTokens(unsigned flits)
     {
-        HMCSIM_ASSERT(available + flits <= capacity,
-                      "token return exceeds buffer capacity");
+        HMCSIM_CHECK(available + flits <= capacity,
+                     "token return exceeds buffer capacity "
+                     "(available=%u returned=%u capacity=%u)",
+                     available, flits, capacity);
         available += flits;
     }
+
+    /** Tokens currently held by in-flight packets. */
+    unsigned outstanding() const { return capacity - available; }
 
     /** True when the transmitter is blocked for a min-size packet. */
     bool stopped() const { return available == 0; }
@@ -114,7 +124,8 @@ class RetryBuffer
     std::uint8_t
     push(std::uint64_t packet_id, unsigned flits)
     {
-        HMCSIM_ASSERT(hasSpace(), "retry buffer overflow");
+        HMCSIM_CHECK(hasSpace(), "retry buffer overflow (depth=%u)",
+                     depth);
         const std::uint8_t seq = nextSeq;
         nextSeq = static_cast<std::uint8_t>((nextSeq + 1) & 0x7);
         entries.push_back({packet_id, seq, flits});
@@ -128,7 +139,8 @@ class RetryBuffer
     std::uint8_t
     lastPointer() const
     {
-        HMCSIM_ASSERT(!pointers.empty(), "no packets in flight");
+        HMCSIM_CHECK(!pointers.empty(),
+                     "FRP requested with no packets in flight");
         return pointers.back();
     }
 
@@ -172,8 +184,9 @@ class RetryBuffer
             if (found)
                 replay.push_back(entry);
         }
-        HMCSIM_ASSERT(found || entries.empty(),
-                      "retry for unknown sequence number");
+        HMCSIM_CHECK(found || entries.empty(),
+                     "retry for unknown sequence number %u",
+                     static_cast<unsigned>(seq));
         numRetries += replay.size();
         return replay;
     }
@@ -188,6 +201,57 @@ class RetryBuffer
     std::deque<RetryEntry> entries;
     std::deque<std::uint8_t> pointers;
     std::uint64_t numRetries = 0;
+};
+
+/**
+ * Conservation law of credit-based flow control: every token is either
+ * available to the transmitter or held by an in-flight packet, so
+ *
+ *     tokens() + in_flight_flits() == bufferCapacity()
+ *
+ * at every drain point. The in-flight count must come from independent
+ * bookkeeping (the transmitter counts flits it consumed and has not
+ * yet seen returned); a mismatch means tokens leaked or were returned
+ * twice -- exactly the class of bug that shows up as a slowly
+ * throttling (or over-committing) link thousands of events later.
+ */
+class TokenConservationChecker : public InvariantChecker
+{
+  public:
+    using InFlightFn = std::function<std::uint64_t()>;
+
+    /**
+     * @param name Checker name for diagnostics.
+     * @param fc The token counter to audit (must outlive the checker).
+     * @param in_flight Independent count of flits currently holding
+     *        tokens.
+     */
+    TokenConservationChecker(std::string name, const TokenFlowControl &fc,
+                             InFlightFn in_flight)
+        : InvariantChecker(std::move(name)), fc(fc),
+          inFlight(std::move(in_flight))
+    {
+    }
+
+    std::string
+    check(Tick) const override
+    {
+        const std::uint64_t held = inFlight();
+        const std::uint64_t sum = fc.tokens() + held;
+        if (sum == fc.bufferCapacity())
+            return {};
+        std::ostringstream out;
+        out << "token conservation broken: available=" << fc.tokens()
+            << " + in_flight=" << held << " = " << sum
+            << " != capacity=" << fc.bufferCapacity()
+            << (sum < fc.bufferCapacity() ? " (tokens leaked)"
+                                          : " (tokens duplicated)");
+        return out.str();
+    }
+
+  private:
+    const TokenFlowControl &fc;
+    InFlightFn inFlight;
 };
 
 } // namespace hmcsim

@@ -10,9 +10,13 @@
 #define HMCSIM_PROTOCOL_TAG_POOL_HH
 
 #include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace hmcsim
 {
@@ -45,7 +49,8 @@ class TagPool
     std::uint16_t
     allocate()
     {
-        HMCSIM_ASSERT(!free.empty(), "tag pool exhausted");
+        HMCSIM_CHECK(!free.empty(), "tag pool exhausted (depth=%u)",
+                     depth);
         const std::uint16_t tag = free.back();
         free.pop_back();
         return tag;
@@ -55,14 +60,109 @@ class TagPool
     void
     release(std::uint16_t tag)
     {
-        HMCSIM_ASSERT(tag < depth, "tag out of range");
-        HMCSIM_ASSERT(free.size() < depth, "double release");
+        HMCSIM_CHECK(tag < depth, "tag %u out of range (depth=%u)",
+                     static_cast<unsigned>(tag), depth);
+        HMCSIM_CHECK(free.size() < depth,
+                     "release of tag %u into a full pool (double release)",
+                     static_cast<unsigned>(tag));
+        HMCSIM_DCHECK(!isFree(tag), "tag %u released while already free",
+                      static_cast<unsigned>(tag));
         free.push_back(tag);
+    }
+
+    /** True when @p tag is currently in the free list (O(depth)). */
+    bool
+    isFree(std::uint16_t tag) const
+    {
+        for (const std::uint16_t t : free)
+            if (t == tag)
+                return true;
+        return false;
+    }
+
+    /**
+     * Audit the free list: every tag in range, no duplicates, size
+     * within capacity. @return Empty when consistent, else a report.
+     */
+    std::string
+    validate() const
+    {
+        if (free.size() > depth)
+            return "free list larger than pool depth";
+        std::vector<bool> seen(depth, false);
+        for (const std::uint16_t tag : free) {
+            if (tag >= depth) {
+                std::ostringstream out;
+                out << "free list holds out-of-range tag " << tag
+                    << " (depth " << depth << ")";
+                return out.str();
+            }
+            if (seen[tag]) {
+                std::ostringstream out;
+                out << "tag " << tag
+                    << " appears twice in the free list (double release)";
+                return out.str();
+            }
+            seen[tag] = true;
+        }
+        return {};
     }
 
   private:
     unsigned depth;
     std::vector<std::uint16_t> free;
+};
+
+/**
+ * Invariant checker over a TagPool: the free list must stay
+ * internally consistent (validate()), and when the owner supplies its
+ * independent count of live tags, pool occupancy must equal it --
+ * fewer means tags leaked (the port silently loses issue slots and
+ * Little's law bends), more means a live tag was recycled (two
+ * outstanding reads share an identity and responses cross-match).
+ */
+class TagPoolChecker : public InvariantChecker
+{
+  public:
+    using LiveCountFn = std::function<std::uint64_t()>;
+
+    /**
+     * @param name Checker name for diagnostics.
+     * @param pool The pool to audit (must outlive the checker).
+     * @param live_count Optional independent count of tags the owner
+     *        believes are allocated; pass nullptr to skip.
+     */
+    TagPoolChecker(std::string name, const TagPool &pool,
+                   LiveCountFn live_count = nullptr)
+        : InvariantChecker(std::move(name)), pool(pool),
+          liveCount(std::move(live_count))
+    {
+    }
+
+    std::string
+    check(Tick) const override
+    {
+        std::string report = pool.validate();
+        if (!report.empty())
+            return report;
+        if (liveCount) {
+            const std::uint64_t live = liveCount();
+            if (live != pool.inUse()) {
+                std::ostringstream out;
+                out << "tag accounting mismatch: pool has "
+                    << pool.inUse() << " tags allocated but owner has "
+                    << live << " live requests"
+                    << (pool.inUse() > live ? " (tag leak)"
+                                            : " (tag reuse)");
+                return out.str();
+            }
+        }
+        return {};
+    }
+
+  private:
+    const TagPool &pool;
+    LiveCountFn liveCount;
 };
 
 } // namespace hmcsim

@@ -1,0 +1,110 @@
+#include "sim/check.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+namespace check_detail
+{
+
+namespace
+{
+/** Tick reported in check failures; maxTick = outside a simulation. */
+Tick reportedTick = maxTick;
+} // namespace
+
+void
+setCurrentTick(Tick now)
+{
+    reportedTick = now;
+}
+
+Tick
+currentTick()
+{
+    return reportedTick;
+}
+
+void
+checkFailed(const char *cond, const char *file, int line, const char *fmt,
+            ...)
+{
+    char message[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    va_end(args);
+
+    if (reportedTick == maxTick) {
+        panic("check failed: %s (%s:%d): %s", cond, file, line, message);
+    } else {
+        panic("check failed at tick %llu: %s (%s:%d): %s",
+              static_cast<unsigned long long>(reportedTick), cond, file,
+              line, message);
+    }
+}
+
+} // namespace check_detail
+
+void
+CheckerRegistry::add(std::unique_ptr<InvariantChecker> checker)
+{
+    checkers.push_back(std::move(checker));
+}
+
+void
+CheckerRegistry::addLambda(std::string name, LambdaChecker::Fn fn)
+{
+    add(std::make_unique<LambdaChecker>(std::move(name), std::move(fn)));
+}
+
+void
+CheckerRegistry::setFailureHandler(FailureHandler handler)
+{
+    onFailure = std::move(handler);
+}
+
+void
+CheckerRegistry::runAll(Tick now)
+{
+    for (const auto &checker : checkers) {
+        ++numChecks;
+        std::string report = checker->check(now);
+        if (report.empty())
+            continue;
+
+        ++numViolations;
+        std::ostringstream dump;
+        dump << "invariant violated at tick " << now << "\n"
+             << "  checker : " << checker->name() << "\n"
+             << "  report  : " << report << "\n"
+             << "  registry: " << checkers.size()
+             << " checkers registered:\n";
+        for (const auto &sibling : checkers) {
+            const std::string sib_report = sibling->check(now);
+            dump << "    [" << (sib_report.empty() ? "ok" : "FAIL")
+                 << "] " << sibling->name();
+            if (!sib_report.empty())
+                dump << " -- " << sib_report;
+            dump << "\n";
+        }
+
+        if (onFailure) {
+            onFailure(dump.str());
+            // A non-aborting handler (tests) keeps the simulation
+            // running; stop after the first violation this sweep so
+            // the handler sees one coherent dump per event.
+            return;
+        }
+        panic("%s", dump.str().c_str());
+    }
+}
+
+} // namespace hmcsim

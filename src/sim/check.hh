@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Invariant checking layer: always-on checks, debug-only checks, and a
+ * registry of model-invariant checkers run from EventQueue drain
+ * points.
+ *
+ * Two macro tiers replace raw assert():
+ *
+ *  - HMCSIM_CHECK(cond, fmt, ...): stays active in every build type.
+ *    Use for cheap invariants (pointer/range/state checks) whose
+ *    violation means the simulation is already corrupt. On failure it
+ *    prints the condition, location, a printf-style message, and the
+ *    current simulated tick, then aborts.
+ *
+ *  - HMCSIM_DCHECK(cond, fmt, ...): compiled out unless
+ *    HMCSIM_DCHECK_ENABLED is defined (Debug builds, or any build with
+ *    -DHMCSIM_ENABLE_CHECKS=ON). Use on hot paths where even a branch
+ *    is too expensive for release.
+ *
+ * Beyond point checks, components register InvariantChecker objects
+ * with a CheckerRegistry. The EventQueue runs the registry at its
+ * drain points (after each executed event), so a conservation-law
+ * violation -- leaked flow-control tokens, a duplicated tag, an
+ * illegal bank state, an over-full vault queue -- fires at the
+ * offending tick with a diagnostic dump instead of surfacing
+ * thousands of events later as a bent latency curve.
+ */
+
+#ifndef HMCSIM_SIM_CHECK_HH
+#define HMCSIM_SIM_CHECK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+namespace check_detail
+{
+
+/** Publish the tick reported by failing checks (EventQueue calls it). */
+void setCurrentTick(Tick now);
+
+/** Tick most recently published; maxTick when outside a simulation. */
+Tick currentTick();
+
+/** Shared failure path of the check macros: prints and aborts. */
+[[noreturn]] void checkFailed(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace check_detail
+
+/**
+ * Always-on invariant check with a printf-style message. The message
+ * is only formatted on failure; the condition is always evaluated.
+ */
+#define HMCSIM_CHECK(cond, ...)                                           \
+    do {                                                                  \
+        if (__builtin_expect(!(cond), 0))                                 \
+            ::hmcsim::check_detail::checkFailed(#cond, __FILE__,          \
+                                                __LINE__, __VA_ARGS__);   \
+    } while (0)
+
+/** Debug-only check: condition and message both compile out. */
+#ifdef HMCSIM_DCHECK_ENABLED
+#define HMCSIM_DCHECK(cond, ...) HMCSIM_CHECK(cond, __VA_ARGS__)
+#else
+#define HMCSIM_DCHECK(cond, ...)                                          \
+    do {                                                                  \
+    } while (0)
+#endif
+
+/** True when HMCSIM_DCHECK and the registered checkers are active. */
+constexpr bool
+dchecksEnabled()
+{
+#ifdef HMCSIM_DCHECK_ENABLED
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * One registered model invariant. check() returns an empty string
+ * while the invariant holds and a human-readable violation report
+ * (including the offending values) when it does not.
+ */
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(std::string name) : _name(std::move(name)) {}
+    virtual ~InvariantChecker() = default;
+
+    InvariantChecker(const InvariantChecker &) = delete;
+    InvariantChecker &operator=(const InvariantChecker &) = delete;
+
+    /** Dotted component name, e.g. "system.hmc.vault3.banks". */
+    const std::string &name() const { return _name; }
+
+    /** @return Empty when the invariant holds, else a description. */
+    virtual std::string check(Tick now) const = 0;
+
+  private:
+    std::string _name;
+};
+
+/** Checker wrapping a callable; the common registration shortcut. */
+class LambdaChecker : public InvariantChecker
+{
+  public:
+    using Fn = std::function<std::string(Tick)>;
+
+    LambdaChecker(std::string name, Fn fn)
+        : InvariantChecker(std::move(name)), fn(std::move(fn))
+    {
+    }
+
+    std::string check(Tick now) const override { return fn(now); }
+
+  private:
+    Fn fn;
+};
+
+/**
+ * The set of invariant checkers for one simulated system.
+ *
+ * runAll() evaluates every checker; any violation is assembled into a
+ * diagnostic dump (tick, checker name, report, sibling checker
+ * status) and passed to the failure handler. The default handler
+ * aborts via panic(); tests install a capturing handler instead.
+ */
+class CheckerRegistry
+{
+  public:
+    using FailureHandler = std::function<void(const std::string &report)>;
+
+    CheckerRegistry() = default;
+    CheckerRegistry(const CheckerRegistry &) = delete;
+    CheckerRegistry &operator=(const CheckerRegistry &) = delete;
+
+    /** Register a checker object. */
+    void add(std::unique_ptr<InvariantChecker> checker);
+
+    /** Register a callable under @p name. */
+    void addLambda(std::string name, LambdaChecker::Fn fn);
+
+    /** Number of registered checkers. */
+    std::size_t size() const { return checkers.size(); }
+
+    /**
+     * Evaluate every checker at simulated time @p now. Violations are
+     * reported through the failure handler (default: abort).
+     */
+    void runAll(Tick now);
+
+    /** Replace the violation sink; pass nullptr to restore abort. */
+    void setFailureHandler(FailureHandler handler);
+
+    /** Total individual checker evaluations. */
+    std::uint64_t checksRun() const { return numChecks; }
+
+    /** Violations seen (only observable with a non-aborting handler). */
+    std::uint64_t violations() const { return numViolations; }
+
+    /** Remove all checkers (components re-register after a rebuild). */
+    void clear() { checkers.clear(); }
+
+  private:
+    std::vector<std::unique_ptr<InvariantChecker>> checkers;
+    FailureHandler onFailure;
+    std::uint64_t numChecks = 0;
+    std::uint64_t numViolations = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_CHECK_HH

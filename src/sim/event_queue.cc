@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace hmcsim
@@ -10,10 +11,10 @@ namespace hmcsim
 void
 EventQueue::schedule(Tick when, EventFn fn)
 {
-    if (when < _now)
-        panic("scheduling event in the past (when=%llu now=%llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(_now));
+    HMCSIM_CHECK(when >= _now,
+                 "scheduling event in the past (when=%llu now=%llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
     heap.push(Entry{when, nextSeq++, std::move(fn)});
 }
 
@@ -26,9 +27,18 @@ EventQueue::step()
     // standard idiom here and safe because we pop immediately.
     Entry entry = std::move(const_cast<Entry &>(heap.top()));
     heap.pop();
+    HMCSIM_DCHECK(entry.when >= _now,
+                  "event time went backwards (when=%llu now=%llu)",
+                  static_cast<unsigned long long>(entry.when),
+                  static_cast<unsigned long long>(_now));
     _now = entry.when;
+    check_detail::setCurrentTick(_now);
     ++numExecuted;
     entry.fn();
+    if (checkerRegistry && ++eventsSinceCheck >= checkEveryN) {
+        eventsSinceCheck = 0;
+        checkerRegistry->runAll(_now);
+    }
     return true;
 }
 
@@ -41,6 +51,7 @@ EventQueue::runUntil(Tick limit)
     }
     if (_now < limit)
         _now = limit;
+    runCheckers();
     return _now;
 }
 
@@ -48,6 +59,25 @@ void
 EventQueue::runToCompletion()
 {
     while (step()) {
+    }
+    runCheckers();
+}
+
+void
+EventQueue::setCheckers(CheckerRegistry *registry, std::uint64_t every_n)
+{
+    HMCSIM_CHECK(every_n > 0, "checker interval must be non-zero");
+    checkerRegistry = registry;
+    checkEveryN = every_n;
+    eventsSinceCheck = 0;
+}
+
+void
+EventQueue::runCheckers()
+{
+    if (checkerRegistry) {
+        eventsSinceCheck = 0;
+        checkerRegistry->runAll(_now);
     }
 }
 
@@ -58,6 +88,7 @@ EventQueue::reset()
     _now = 0;
     nextSeq = 0;
     numExecuted = 0;
+    eventsSinceCheck = 0;
 }
 
 } // namespace hmcsim

@@ -21,6 +21,8 @@
 namespace hmcsim
 {
 
+class CheckerRegistry;
+
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
 
@@ -74,7 +76,24 @@ class EventQueue
     /** Drop all pending events and reset time to zero. */
     void reset();
 
+    /**
+     * Attach an invariant-checker registry to this queue's drain
+     * points. After every @p every_n executed events (and at the end
+     * of runUntil / runToCompletion) the registry's checkers run at
+     * the current tick, so a violated model invariant aborts at the
+     * offending event rather than corrupting downstream statistics.
+     * Pass nullptr to detach.
+     */
+    void setCheckers(CheckerRegistry *registry, std::uint64_t every_n = 1);
+
+    /** The attached checker registry, or nullptr. */
+    CheckerRegistry *checkers() const { return checkerRegistry; }
+
   private:
+    /** Run attached checkers at a drain point. */
+    void runCheckers();
+
+
     struct Entry
     {
         Tick when;
@@ -97,6 +116,9 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+    CheckerRegistry *checkerRegistry = nullptr;
+    std::uint64_t checkEveryN = 1;
+    std::uint64_t eventsSinceCheck = 0;
 };
 
 } // namespace hmcsim

@@ -34,16 +34,9 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
 
-/**
- * Lightweight assert that stays active in release builds.
- * Use for simulator invariants on non-hot paths.
- */
-#define HMCSIM_ASSERT(cond, msg)                                          \
-    do {                                                                  \
-        if (!(cond))                                                      \
-            ::hmcsim::panic("assertion failed: %s (%s:%d): %s", #cond,    \
-                            __FILE__, __LINE__, msg);                     \
-    } while (0)
+// Invariant checking (the former HMCSIM_ASSERT) lives in sim/check.hh:
+// HMCSIM_CHECK stays active in release builds, HMCSIM_DCHECK compiles
+// out unless HMCSIM_DCHECK_ENABLED, and both report the current tick.
 
 } // namespace hmcsim
 

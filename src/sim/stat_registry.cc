@@ -1,6 +1,7 @@
 #include "sim/stat_registry.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -51,6 +52,31 @@ StatRegistry::matching(const std::string &prefix) const
                   return a->name < b->name;
               });
     return out;
+}
+
+std::uint64_t
+StatRegistry::digest() const
+{
+    // FNV-1a, 64-bit. Values hash by exact bit pattern (memcpy through
+    // uint64) so even sub-ulp nondeterminism changes the digest.
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    const auto mix = [&hash](const unsigned char *bytes, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            hash ^= bytes[i];
+            hash *= 0x100000001B3ULL;
+        }
+    };
+    for (const StatEntry *entry : matching("")) {
+        mix(reinterpret_cast<const unsigned char *>(entry->name.data()),
+            entry->name.size());
+        const double value = entry->value();
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        mix(reinterpret_cast<const unsigned char *>(&bits),
+            sizeof(bits));
+    }
+    return hash;
 }
 
 std::string

@@ -71,6 +71,16 @@ class StatRegistry
     std::vector<const StatEntry *>
     matching(const std::string &prefix) const;
 
+    /**
+     * Order-independent fingerprint of the registry's current state:
+     * an FNV-1a hash over the sorted (name, exact value bits) pairs.
+     * Two runs of a deterministic simulation must produce identical
+     * digests; a mismatch exposes iteration-order or uninitialized-
+     * value nondeterminism that bit-exact stats comparison catches
+     * but eyeballing rounded dumps does not.
+     */
+    std::uint64_t digest() const;
+
     /** Dump as aligned "name value # description" lines, sorted. */
     std::string dumpText() const;
 

@@ -243,11 +243,13 @@ TEST_P(ExperimentPropertySweep, Invariants)
     // Raw bandwidth can never exceed the Eq. 2 peak.
     EXPECT_LT(m.rawGBps, 60.0);
     // Single-vault traffic respects the vault bound.
-    if (p.vaults == 1)
+    if (p.vaults == 1) {
         EXPECT_LE(m.rawGBps, 10.5);
+    }
     // Latency is at least the infrastructure minimum.
-    if (p.mix != RequestMix::WriteOnly)
+    if (p.mix != RequestMix::WriteOnly) {
         EXPECT_GT(m.readLatencyNs.min(), 400.0);
+    }
     // Mix semantics.
     if (p.mix == RequestMix::ReadOnly) {
         EXPECT_DOUBLE_EQ(m.writeMrps, 0.0);

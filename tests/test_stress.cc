@@ -92,8 +92,9 @@ TEST_P(FuzzedConfigs, InvariantsHoldUnderRandomConfigs)
         EXPECT_GE(m.readLatencyNs.max(), m.readLatencyNs.mean() - 1e-6);
         EXPECT_GE(m.readLatencyNs.mean(), m.readLatencyNs.min() - 1e-6);
     }
-    if (m.writeLatencyNs.count() > 0)
+    if (m.writeLatencyNs.count() > 0) {
         EXPECT_GT(m.writeLatencyNs.min(), 300.0);
+    }
     // Byte accounting matches request counts.
     const double bytes_per_req = m.rawGBps * 1000.0 / m.mrps;
     EXPECT_GE(bytes_per_req, 47.0);   // >= atomic transaction
