@@ -16,6 +16,7 @@
 
 #include "analysis/table.hh"
 #include "hmc/chain.hh"
+#include "runner/thread_pool.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -63,16 +64,27 @@ results()
         ChainResults out;
         CubeChainConfig cfg;
         cfg.numCubes = 8;
-        for (unsigned target = 0; target < 8; ++target)
-            out.hopLatencyNs.push_back(
-                probeLatencyNs(CubeChain(cfg), target));
-
+        // Every probe builds its own chain, so the ten probes are
+        // independent simulations -- run them across the pool and
+        // keep each result in its pre-assigned slot.
+        out.hopLatencyNs.resize(8);
         CubeChainConfig cfg4;
         cfg4.numCubes = 4;
-        out.healthyLatencyNs = probeLatencyNs(CubeChain(cfg4), 1);
-        CubeChain degraded(cfg4);
-        degraded.setCubeFailed(0, true);
-        out.reroutedLatencyNs = probeLatencyNs(std::move(degraded), 1);
+        ThreadPool pool;
+        pool.parallelFor(10, [&](std::size_t job) {
+            if (job < 8) {
+                out.hopLatencyNs[job] = probeLatencyNs(
+                    CubeChain(cfg), static_cast<unsigned>(job));
+            } else if (job == 8) {
+                out.healthyLatencyNs =
+                    probeLatencyNs(CubeChain(cfg4), 1);
+            } else {
+                CubeChain degraded(cfg4);
+                degraded.setCubeFailed(0, true);
+                out.reroutedLatencyNs =
+                    probeLatencyNs(std::move(degraded), 1);
+            }
+        });
 
         CubeChain walled(cfg4);
         walled.setCubeFailed(0, true);

@@ -5,16 +5,25 @@
  * Every bench follows the same pattern: run the paper's sweep once
  * (cached), print the same rows/series the paper reports, and expose
  * headline values as google-benchmark counters.
+ *
+ * Since PR 2 the sweeps route through the parallel SweepRunner
+ * (src/runner/): multi-point benches expand their axes into one job
+ * list and measure it across all cores, and every per-point seed --
+ * serial or parallel -- derives from benchSweepSeed and the config's
+ * content digest, so printed values are identical at any job count.
  */
 
 #ifndef HMCSIM_BENCH_COMMON_HH
 #define HMCSIM_BENCH_COMMON_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/table.hh"
 #include "host/experiment.hh"
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
 
 namespace hmcsim::benchutil
 {
@@ -37,11 +46,14 @@ patternAxis()
     return axis;
 }
 
-/** Run one full-scale GUPS measurement with default hardware. */
-inline MeasurementResult
-measure(const AccessPattern &pattern, RequestMix mix, Bytes size,
-        AddressingMode mode = AddressingMode::Random,
-        unsigned ports = maxGupsPorts)
+/** Campaign seed every bench sweep derives its per-point seeds from. */
+inline constexpr std::uint64_t benchSweepSeed = 1;
+
+/** One full-scale GUPS measurement point with default hardware. */
+inline ExperimentConfig
+pointConfig(const AccessPattern &pattern, RequestMix mix, Bytes size,
+            AddressingMode mode = AddressingMode::Random,
+            unsigned ports = maxGupsPorts)
 {
     ExperimentConfig cfg;
     cfg.pattern = pattern;
@@ -49,7 +61,47 @@ measure(const AccessPattern &pattern, RequestMix mix, Bytes size,
     cfg.requestSize = size;
     cfg.mode = mode;
     cfg.numPorts = ports;
-    return runExperiment(cfg);
+    return cfg;
+}
+
+/**
+ * Measure @p points through the sweep runner and return the results
+ * in input order. @p jobs 0 = all hardware threads.
+ */
+inline std::vector<MeasurementResult>
+measureSweep(std::vector<ExperimentConfig> points, unsigned jobs = 0)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.sweepSeed = benchSweepSeed;
+    SweepRunner runner(opts);
+    std::vector<MeasurementResult> out;
+    for (SweepPointResult &point : runner.run(std::move(points)))
+        out.push_back(std::move(point.result));
+    return out;
+}
+
+/** Expand @p axes (windows/device from axes.base) and measure. */
+inline std::vector<MeasurementResult>
+measureSweep(const SweepAxes &axes, unsigned jobs = 0)
+{
+    return measureSweep(axes.expand(), jobs);
+}
+
+/**
+ * Run one full-scale GUPS measurement with default hardware. Routes
+ * through the runner's serial path, so the seed derivation (and thus
+ * the printed value) matches the same point inside any parallel
+ * sweep.
+ */
+inline MeasurementResult
+measure(const AccessPattern &pattern, RequestMix mix, Bytes size,
+        AddressingMode mode = AddressingMode::Random,
+        unsigned ports = maxGupsPorts)
+{
+    return measureSweep({pointConfig(pattern, mix, size, mode, ports)},
+                        1)
+        .front();
 }
 
 } // namespace hmcsim::benchutil

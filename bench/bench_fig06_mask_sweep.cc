@@ -37,13 +37,19 @@ results()
     static const Fig6Results r = [] {
         Fig6Results out;
         out.sweep = fig6MaskSweep(defaultMapper());
-        const RequestMix mixes[3] = {RequestMix::ReadOnly,
-                                     RequestMix::ReadModifyWrite,
-                                     RequestMix::WriteOnly};
-        for (const AccessPattern &p : out.sweep) {
+        // One parallel campaign over the whole mask x mix grid; the
+        // runner returns results in canonical axis order (pattern
+        // outermost, then mix), so row i covers points [3i, 3i+3).
+        SweepAxes axes;
+        axes.patterns = out.sweep;
+        axes.mixes = {RequestMix::ReadOnly, RequestMix::ReadModifyWrite,
+                      RequestMix::WriteOnly};
+        axes.sizes = {128};
+        const std::vector<MeasurementResult> points = measureSweep(axes);
+        for (std::size_t i = 0; i < out.sweep.size(); ++i) {
             std::array<double, 3> row{};
-            for (int m = 0; m < 3; ++m)
-                row[m] = measure(p, mixes[m], 128).rawGBps;
+            for (std::size_t m = 0; m < 3; ++m)
+                row[m] = points[i * 3 + m].rawGBps;
             out.gbps.push_back(row);
         }
         return out;

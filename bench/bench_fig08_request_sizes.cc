@@ -40,15 +40,20 @@ results()
 {
     static const Fig8Results r = [] {
         Fig8Results out;
-        for (const AccessPattern &p : patternAxis()) {
-            out.patterns.push_back(p.name);
+        // Pattern x size grid as one parallel campaign; canonical
+        // order puts the three sizes of pattern i at [3i, 3i+3).
+        SweepAxes axes;
+        axes.patterns = patternAxis();
+        axes.mixes = {RequestMix::ReadOnly};
+        axes.sizes.assign(sizes.begin(), sizes.end());
+        const std::vector<MeasurementResult> points = measureSweep(axes);
+        for (std::size_t i = 0; i < axes.patterns.size(); ++i) {
+            out.patterns.push_back(axes.patterns[i].name);
             std::array<double, 3> bw{};
             std::array<double, 3> rate{};
             for (std::size_t s = 0; s < sizes.size(); ++s) {
-                const MeasurementResult m =
-                    measure(p, RequestMix::ReadOnly, sizes[s]);
-                bw[s] = m.rawGBps;
-                rate[s] = m.mrps;
+                bw[s] = points[i * 3 + s].rawGBps;
+                rate[s] = points[i * 3 + s].mrps;
             }
             out.gbps.push_back(bw);
             out.mrps.push_back(rate);

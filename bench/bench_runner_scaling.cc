@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Orchestration microbench: wall-clock of a fixed 12-point sweep at
+ * 1 / 2 / 4 / 8 jobs.
+ *
+ * The figure benches track what the simulator computes; this bench
+ * tracks how fast the runner computes it, so later orchestration PRs
+ * (multi-cube campaigns, calibration search, regression farms) can
+ * show their speedup against a recorded baseline. The sweep is the
+ * same shape as the determinism test in tests/test_runner.cc: four
+ * patterns x three request sizes with a short measurement window.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+/** The 12-point campaign: 4 patterns x 3 sizes, short windows. */
+SweepAxes
+scalingAxes()
+{
+    SweepAxes axes;
+    const std::vector<AccessPattern> &all = patternAxis();
+    axes.patterns.assign(all.begin(), all.begin() + 4);
+    axes.mixes = {RequestMix::ReadOnly};
+    axes.sizes = {128, 64, 32};
+    axes.base.warmup = 10 * tickUs;
+    axes.base.measure = 200 * tickUs;
+    return axes;
+}
+
+double
+sweepWallMs(unsigned jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.sweepSeed = benchSweepSeed;
+    SweepRunner runner(opts);
+    const auto start = std::chrono::steady_clock::now();
+    runner.run(scalingAxes());
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+struct ScalingResults
+{
+    double wallMs[4]; // jobs 1, 2, 4, 8
+};
+
+const ScalingResults &
+results()
+{
+    static const ScalingResults r = [] {
+        ScalingResults out{};
+        const unsigned jobs[4] = {1, 2, 4, 8};
+        for (int i = 0; i < 4; ++i)
+            out.wallMs[i] = sweepWallMs(jobs[i]);
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const ScalingResults &r = results();
+    std::printf("\nSweep orchestration scaling: 12-point campaign "
+                "(4 patterns x 3 sizes)\n");
+    std::printf("Hardware threads: %u (speedup is bounded by "
+                "min(jobs, hardware threads))\n\n",
+                ThreadPool::hardwareConcurrency());
+    TextTable table({"Jobs", "Wall ms", "Speedup"});
+    const unsigned jobs[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+        table.addRow({strfmt("%u", jobs[i]),
+                      strfmt("%.0f", r.wallMs[i]),
+                      strfmt("%.2fx", r.wallMs[0] / r.wallMs[i])});
+    }
+    table.print();
+    std::printf("\nResults are bit-identical at every job count (the "
+                "runner's determinism contract); only the wall clock "
+                "changes.\n\n");
+}
+
+void
+BM_RunnerScaling(benchmark::State &state)
+{
+    const ScalingResults &r = results();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&r);
+    state.counters["wall_1j_ms"] = r.wallMs[0];
+    state.counters["wall_4j_ms"] = r.wallMs[2];
+    state.counters["speedup_2j"] = r.wallMs[0] / r.wallMs[1];
+    state.counters["speedup_4j"] = r.wallMs[0] / r.wallMs[2];
+    state.counters["speedup_8j"] = r.wallMs[0] / r.wallMs[3];
+    state.counters["hw_threads"] = ThreadPool::hardwareConcurrency();
+}
+BENCHMARK(BM_RunnerScaling);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

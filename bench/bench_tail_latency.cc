@@ -33,13 +33,19 @@ results()
 {
     static const std::vector<Row> rows = [] {
         std::vector<Row> out;
-        for (const AccessPattern &p : patternAxis()) {
-            const MeasurementResult full =
-                measure(p, RequestMix::ReadOnly, 128);
-            const MeasurementResult light =
-                measure(p, RequestMix::ReadOnly, 128,
-                        AddressingMode::Random, 3);
-            out.push_back({p.name, full.readLatencyP50Ns / 1000.0,
+        // Pattern x ports grid as one parallel campaign: canonical
+        // order interleaves (9 ports, 3 ports) per pattern.
+        SweepAxes axes;
+        axes.patterns = patternAxis();
+        axes.mixes = {RequestMix::ReadOnly};
+        axes.sizes = {128};
+        axes.ports = {maxGupsPorts, 3};
+        const std::vector<MeasurementResult> points = measureSweep(axes);
+        for (std::size_t i = 0; i < axes.patterns.size(); ++i) {
+            const MeasurementResult &full = points[i * 2];
+            const MeasurementResult &light = points[i * 2 + 1];
+            out.push_back({axes.patterns[i].name,
+                           full.readLatencyP50Ns / 1000.0,
                            full.readLatencyP99Ns / 1000.0,
                            full.readLatencyNs.max() / 1000.0,
                            light.readLatencyP50Ns / 1000.0,

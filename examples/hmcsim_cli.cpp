@@ -2,6 +2,20 @@
  * @file
  * hmcsim_cli -- run any paper-style experiment from the command line.
  *
+ *     hmcsim_cli sweep [sweep options]   run a parallel campaign
+ *       --jobs N                   concurrent jobs      (default: cores)
+ *       --axis K=V1,V2,...         sweep axis, repeatable; K is one of
+ *                                  vaults, banks, mix, size, mode,
+ *                                  ports (default: the paper's
+ *                                  pattern axis, ro, 128 B)
+ *       --seed S                   campaign seed        (default 1)
+ *       --measure-us N / --warmup-us N   per-point windows
+ *       --out FILE                 JSON-lines results ("-" = stdout)
+ *       --csv-out FILE             CSV results
+ *       --cache DIR                persistent result cache
+ *       --timing                   include wall-clock metadata
+ *                                  (nondeterministic; off for diffs)
+ *
  *     hmcsim_cli [options]
  *       --mix ro|wo|rw|atomic      request mix          (default ro)
  *       --size N                   request bytes        (default 128)
@@ -30,14 +44,23 @@
  *     hmcsim_cli --trace workload.trc --window 32
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "host/experiment.hh"
 #include "host/trace_replay.hh"
+#include "runner/result_cache.hh"
+#include "runner/sink.hh"
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
 #include "sim/stat_registry.hh"
 
 using namespace hmcsim;
@@ -66,11 +89,191 @@ next(int argc, char **argv, int &i)
     return argv[i];
 }
 
+[[noreturn]] void
+sweepUsage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s sweep [--jobs N] [--axis K=V1,V2,...] "
+                 "[--seed S] [--measure-us N] [--warmup-us N] "
+                 "[--out FILE] [--csv-out FILE] [--cache DIR] "
+                 "[--timing]\n"
+                 "axes: vaults, banks, mix, size, mode, ports\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+/**
+ * The `sweep` subcommand: expand --axis specs into a campaign, run it
+ * across --jobs workers, and emit structured results.
+ */
+int
+runSweepCommand(int argc, char **argv)
+{
+    SweepAxes axes;
+    SweepOptions opts;
+    std::vector<unsigned> vaultAxis;
+    std::vector<unsigned> bankAxis;
+    std::string outPath;
+    std::string csvPath;
+    std::string cacheDir;
+    bool timing = false;
+    axes.base.warmup = 10 * tickUs;
+    axes.base.measure = 100 * tickUs;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else if (arg == "--seed") {
+            opts.sweepSeed =
+                std::strtoull(next(argc, argv, i), nullptr, 0);
+        } else if (arg == "--measure-us") {
+            axes.base.measure =
+                std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
+        } else if (arg == "--warmup-us") {
+            axes.base.warmup =
+                std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
+        } else if (arg == "--out") {
+            outPath = next(argc, argv, i);
+        } else if (arg == "--csv-out") {
+            csvPath = next(argc, argv, i);
+        } else if (arg == "--cache") {
+            cacheDir = next(argc, argv, i);
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg == "--axis") {
+            const std::string spec = next(argc, argv, i);
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos)
+                sweepUsage(argv[0]);
+            const std::string key = spec.substr(0, eq);
+            const std::vector<std::string> values =
+                splitCommas(spec.substr(eq + 1));
+            if (values.empty())
+                sweepUsage(argv[0]);
+            for (const std::string &value : values) {
+                if (key == "vaults") {
+                    vaultAxis.push_back(static_cast<unsigned>(
+                        std::strtoul(value.c_str(), nullptr, 0)));
+                } else if (key == "banks") {
+                    bankAxis.push_back(static_cast<unsigned>(
+                        std::strtoul(value.c_str(), nullptr, 0)));
+                } else if (key == "size") {
+                    axes.sizes.push_back(
+                        std::strtoull(value.c_str(), nullptr, 0));
+                } else if (key == "ports") {
+                    axes.ports.push_back(static_cast<unsigned>(
+                        std::strtoul(value.c_str(), nullptr, 0)));
+                } else if (key == "mix") {
+                    if (value == "ro")
+                        axes.mixes.push_back(RequestMix::ReadOnly);
+                    else if (value == "wo")
+                        axes.mixes.push_back(RequestMix::WriteOnly);
+                    else if (value == "rw")
+                        axes.mixes.push_back(
+                            RequestMix::ReadModifyWrite);
+                    else if (value == "atomic")
+                        axes.mixes.push_back(RequestMix::Atomic);
+                    else
+                        sweepUsage(argv[0]);
+                } else if (key == "mode") {
+                    if (value == "random")
+                        axes.modes.push_back(AddressingMode::Random);
+                    else if (value == "linear")
+                        axes.modes.push_back(AddressingMode::Linear);
+                    else
+                        sweepUsage(argv[0]);
+                } else {
+                    sweepUsage(argv[0]);
+                }
+            }
+        } else {
+            sweepUsage(argv[0]);
+        }
+    }
+
+    const AddressMapper mapper(axes.base.device.structure,
+                               axes.base.device.maxBlock, 256,
+                               axes.base.device.mapping);
+    for (const unsigned vaults : vaultAxis)
+        axes.patterns.push_back(vaultPattern(mapper, vaults));
+    for (const unsigned banks : bankAxis)
+        axes.patterns.push_back(bankPattern(mapper, banks));
+    if (axes.patterns.empty())
+        axes.patterns = paperPatternAxis(mapper);
+
+    std::unique_ptr<ResultCache> cache;
+    if (!cacheDir.empty()) {
+        cache = std::make_unique<ResultCache>(cacheDir);
+        opts.cache = cache.get();
+    }
+
+    std::ofstream outFile;
+    std::unique_ptr<JsonLinesSink> jsonSink;
+    if (!outPath.empty()) {
+        std::ostream *stream = &std::cout;
+        if (outPath != "-") {
+            outFile.open(outPath);
+            if (!outFile) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             outPath.c_str());
+                return 1;
+            }
+            stream = &outFile;
+        }
+        jsonSink = std::make_unique<JsonLinesSink>(*stream, timing);
+        opts.sinks.push_back(jsonSink.get());
+    }
+
+    std::ofstream csvFile;
+    std::unique_ptr<CsvSink> csvSink;
+    if (!csvPath.empty()) {
+        csvFile.open(csvPath);
+        if (!csvFile) {
+            std::fprintf(stderr, "cannot open %s\n", csvPath.c_str());
+            return 1;
+        }
+        csvSink = std::make_unique<CsvSink>(csvFile, timing);
+        opts.sinks.push_back(csvSink.get());
+    }
+
+    SweepRunner runner(opts);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepPointResult> results = runner.run(axes);
+    const auto stop = std::chrono::steady_clock::now();
+
+    std::size_t cached = 0;
+    for (const SweepPointResult &point : results)
+        cached += point.fromCache ? 1 : 0;
+    const unsigned jobs =
+        opts.jobs ? opts.jobs : ThreadPool::hardwareConcurrency();
+    std::fprintf(
+        stderr, "sweep: %zu points (%zu cached), %u jobs, %.2f s\n",
+        results.size(), cached, jobs,
+        std::chrono::duration<double>(stop - start).count());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return runSweepCommand(argc, argv);
+
     ExperimentConfig cfg;
     unsigned cooling = 1;
     unsigned vaults = 16;

@@ -1,6 +1,7 @@
 #include "analysis/table.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdarg>
 #include <cstdio>
@@ -93,7 +94,10 @@ TextTable::print() const
     const char *dir = std::getenv("HMCSIM_CSV_DIR");
     if (!dir || !*dir)
         return;
-    static int sequence = 0;
+    // Atomic: benches print from one thread today, but the CSV
+    // export must not silently corrupt the sequence if a sink ever
+    // prints tables from sweep workers.
+    static std::atomic<int> sequence{0};
     std::string program = "table";
 #ifdef __GLIBC__
     if (program_invocation_short_name)

@@ -6,6 +6,18 @@
  *
  * This class assembles the full simulated system used by every
  * experiment: event queue, GUPS ports, HMC controller, and the cube.
+ *
+ * Threading contract (relied on by runner/sweep.hh): one simulator
+ * per thread, no cross-thread sharing. An Ac510Module and everything
+ * it owns (event queue, ports, controller, device, checkers, any
+ * StatRegistry it registered into) must be constructed, run, and
+ * destroyed on a single thread. Distinct modules on distinct threads
+ * are fully independent: the simulation core keeps no process-global
+ * mutable state (the check layer's current tick is thread-local, the
+ * logging sink is internally synchronized, and StatRegistry /
+ * CheckerRegistry are per-instance). Audited for PR 2; keep it that
+ * way -- any new global in src/ must be immutable, thread-local, or
+ * internally locked.
  */
 
 #ifndef HMCSIM_HOST_AC510_HH

@@ -36,13 +36,18 @@ makeSystemConfig(const ExperimentConfig &cfg)
 }
 
 MeasurementResult
-runExperiment(const ExperimentConfig &cfg)
+runExperiment(const ExperimentConfig &cfg, std::uint64_t *statDigest)
 {
     Ac510Module module(makeSystemConfig(cfg));
+    StatRegistry registry;
+    if (statDigest)
+        module.registerStats(registry, StatPath("system"));
     module.start();
     module.runUntil(cfg.warmup);
     module.resetPortStats();
     module.runUntil(cfg.warmup + cfg.measure);
+    if (statDigest)
+        *statDigest = registry.digest();
 
     const GupsPortStats agg = module.aggregateStats();
     const double seconds = ticksToSeconds(cfg.measure);

@@ -13,6 +13,7 @@
 #ifndef HMCSIM_HOST_EXPERIMENT_HH
 #define HMCSIM_HOST_EXPERIMENT_HH
 
+#include <cstdint>
 #include <string>
 
 #include "gups/patterns.hh"
@@ -75,8 +76,16 @@ struct MeasurementResult
 /** Build the Ac510 system description an experiment runs on. */
 Ac510Config makeSystemConfig(const ExperimentConfig &cfg);
 
-/** Run a bandwidth/latency experiment. */
-MeasurementResult runExperiment(const ExperimentConfig &cfg);
+/**
+ * Run a bandwidth/latency experiment.
+ *
+ * @param statDigest When non-null, receives the bit-exact
+ *        StatRegistry::digest() of the run's full counter state --
+ *        the fingerprint the sweep runner uses to prove that a
+ *        parallel run reproduced the serial one exactly.
+ */
+MeasurementResult runExperiment(const ExperimentConfig &cfg,
+                                std::uint64_t *statDigest = nullptr);
 
 /** Outcome of a determinism self-check (two identical runs). */
 struct SelfCheckResult

@@ -1,0 +1,153 @@
+#include "runner/config_digest.hh"
+
+#include <cstring>
+#include <string>
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** FNV-1a accumulator with typed, width-explicit append helpers. */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash ^= p[i];
+            hash *= 0x100000001B3ULL;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Length-prefixed so "ab","c" never collides with "a","bc". */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+};
+
+void
+mixTimings(Fnv1a &h, const DramTimings &t)
+{
+    h.u64(t.tRcd);
+    h.u64(t.tCl);
+    h.u64(t.tRp);
+    h.u64(t.tRas);
+    h.u64(t.tWr);
+    h.u64(t.tCcd);
+    h.u64(t.tBeat);
+    h.u64(t.beatBytes);
+    h.u64(t.rowBytes);
+    h.u64(t.tRefi);
+    h.u64(t.tRfc);
+}
+
+void
+mixDevice(Fnv1a &h, const HmcDeviceConfig &d)
+{
+    h.str(d.structure.name);
+    h.u64(d.structure.capacity);
+    h.u64(d.structure.numDramLayers);
+    h.u64(d.structure.dramLayerGbits);
+    h.u64(d.structure.numQuadrants);
+    h.u64(d.structure.numVaults);
+    h.u64(d.structure.partitionsPerLayer);
+    h.u64(d.structure.banksPerPartition);
+
+    h.u64(d.vault.numBanks);
+    mixTimings(h, d.vault.timings);
+    h.u64(static_cast<std::uint64_t>(d.vault.policy));
+    h.u64(d.vault.controllerLatency);
+    h.u64(d.vault.commandBeats);
+    h.u64(d.vault.atomicLatency);
+    h.u64(d.vault.refreshEnabled ? 1 : 0);
+    h.f64(d.vault.refreshMultiplier);
+
+    h.u64(static_cast<std::uint64_t>(d.maxBlock));
+    h.u64(static_cast<std::uint64_t>(d.mapping));
+    h.u64(d.quadrantLocalLatency);
+    h.u64(d.quadrantHopLatency);
+    h.u64(d.responsePathLatency);
+}
+
+void
+mixController(Fnv1a &h, const ControllerCalibration &c)
+{
+    h.u64(c.fpgaCyclePs);
+    h.u64(c.flitsToParallelCycles);
+    h.u64(c.arbiterCycles);
+    h.u64(c.seqFlowCrcCycles);
+    h.u64(c.serdesConvertCycles);
+    h.u64(c.txPropagation);
+    h.u64(c.rxPropagation);
+    h.u64(c.rxFixedCycles);
+    h.u64(c.rxPerFlit);
+    h.f64(c.txBytesPerSecondPerLink);
+    h.f64(c.rxBytesPerSecondPerLink);
+    h.u64(c.txPerPacketOverheadBytes);
+    h.u64(c.rxPerPacketOverheadBytes);
+    h.u64(c.numLinks);
+    h.f64(c.bitErrorRate);
+    h.u64(c.inputBufferFlits);
+}
+
+} // namespace
+
+std::uint64_t
+configDigest(const ExperimentConfig &cfg, bool include_seed)
+{
+    Fnv1a h;
+    // Version tag: bump when the serialization below changes, so
+    // stale on-disk cache entries can never match new digests.
+    h.str("hmcsim.experiment.v1");
+
+    // The pattern name is cosmetic for simulation but flows into
+    // MeasurementResult::patternName, so it is part of the identity a
+    // cached result must reproduce.
+    h.str(cfg.pattern.name);
+    h.u64(cfg.pattern.mask);
+    h.u64(cfg.pattern.antiMask);
+    h.u64(cfg.pattern.vaultSpan);
+    h.u64(cfg.pattern.bankSpan);
+
+    h.u64(static_cast<std::uint64_t>(cfg.mix));
+    h.u64(cfg.requestSize);
+    h.u64(static_cast<std::uint64_t>(cfg.mode));
+    h.u64(cfg.numPorts);
+    h.u64(cfg.warmup);
+    h.u64(cfg.measure);
+    if (include_seed)
+        h.u64(cfg.seed);
+
+    mixDevice(h, cfg.device);
+    mixController(h, cfg.controller);
+    return h.value();
+}
+
+} // namespace hmcsim

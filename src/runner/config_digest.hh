@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Content-addressed identity of an experiment configuration.
+ *
+ * The digest is an FNV-1a hash over a *canonical serialization* of
+ * every field of ExperimentConfig (the same bit-exact hashing idiom
+ * as StatRegistry::digest()): each field is appended in a fixed,
+ * documented order with explicit widths, so the value depends only on
+ * the configured experiment -- never on struct layout, padding bytes,
+ * or the order a caller happened to assign fields in. Two configs
+ * that would simulate identically hash identically; flipping any
+ * single field (timing constant, mask bit, seed) changes the digest.
+ *
+ * Uses: result-cache keys (runner/result_cache.hh), per-job seed
+ * derivation (runner/sweep.hh), and the digest column of the
+ * structured sinks, which lets downstream tooling join result rows
+ * back to exact configurations.
+ */
+
+#ifndef HMCSIM_RUNNER_CONFIG_DIGEST_HH
+#define HMCSIM_RUNNER_CONFIG_DIGEST_HH
+
+#include <cstdint>
+
+#include "host/experiment.hh"
+
+namespace hmcsim
+{
+
+/**
+ * Canonical FNV-1a digest of @p cfg.
+ *
+ * @param include_seed When false, the seed field is skipped; the
+ *        sweep runner uses this form so a job's derived seed can be
+ *        a function of "everything but the seed" without circularity.
+ */
+std::uint64_t configDigest(const ExperimentConfig &cfg,
+                           bool include_seed = true);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_RUNNER_CONFIG_DIGEST_HH

@@ -1,0 +1,258 @@
+#include "runner/result_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** Lossless double -> text: C99 hex float round-trips every bit. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+void
+putStats(std::ostream &out, const char *key, const SampleStats &s)
+{
+    const SampleStats::Raw raw = s.raw();
+    out << key << ' ' << raw.count << ' ' << fmtDouble(raw.sum) << ' '
+        << fmtDouble(raw.min) << ' ' << fmtDouble(raw.max) << ' '
+        << fmtDouble(raw.welfordMean) << ' '
+        << fmtDouble(raw.welfordM2) << '\n';
+}
+
+/** Expect "<key> ..." on the next line; return the value part. */
+bool
+takeLine(std::istream &in, const std::string &key, std::string &value)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    if (line.rfind(key + " ", 0) != 0)
+        return false;
+    value = line.substr(key.size() + 1);
+    return true;
+}
+
+bool
+parseDouble(std::istringstream &in, double &out)
+{
+    std::string token;
+    if (!(in >> token))
+        return false;
+    char *end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+takeDouble(std::istream &in, const std::string &key, double &out)
+{
+    std::string value;
+    if (!takeLine(in, key, value))
+        return false;
+    std::istringstream fields(value);
+    return parseDouble(fields, out);
+}
+
+bool
+takeU64(std::istream &in, const std::string &key, std::uint64_t &out)
+{
+    std::string value;
+    if (!takeLine(in, key, value))
+        return false;
+    std::istringstream fields(value);
+    return static_cast<bool>(fields >> out);
+}
+
+bool
+takeStats(std::istream &in, const std::string &key, SampleStats &out)
+{
+    std::string value;
+    if (!takeLine(in, key, value))
+        return false;
+    std::istringstream fields(value);
+    SampleStats::Raw raw;
+    if (!(fields >> raw.count))
+        return false;
+    if (!parseDouble(fields, raw.sum) || !parseDouble(fields, raw.min) ||
+        !parseDouble(fields, raw.max) ||
+        !parseDouble(fields, raw.welfordMean) ||
+        !parseDouble(fields, raw.welfordM2)) {
+        return false;
+    }
+    out = SampleStats::fromRaw(raw);
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::size_t max_entries)
+    : dir(std::move(dir)), maxEntries(max_entries ? max_entries : 1)
+{
+}
+
+std::string
+ResultCache::pathFor(std::uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.result",
+                  static_cast<unsigned long long>(key));
+    return dir + "/" + name;
+}
+
+void
+ResultCache::insertLocked(std::uint64_t key, const CachedResult &value)
+{
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+        lru.erase(it->second.lruIt);
+        lru.push_front(key);
+        it->second = {value, lru.begin()};
+        return;
+    }
+    lru.push_front(key);
+    entries.emplace(key, Entry{value, lru.begin()});
+    while (entries.size() > maxEntries) {
+        entries.erase(lru.back());
+        lru.pop_back();
+    }
+}
+
+std::optional<CachedResult>
+ResultCache::lookup(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+        lru.erase(it->second.lruIt);
+        lru.push_front(key);
+        it->second.lruIt = lru.begin();
+        ++numHits;
+        return it->second.value;
+    }
+    if (!dir.empty()) {
+        std::ifstream in(pathFor(key));
+        if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            if (auto value = deserialize(text.str())) {
+                insertLocked(key, *value);
+                ++numHits;
+                return value;
+            }
+            warn("result cache: ignoring malformed entry %s",
+                 pathFor(key).c_str());
+        }
+    }
+    ++numMisses;
+    return std::nullopt;
+}
+
+void
+ResultCache::store(std::uint64_t key, const CachedResult &value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    insertLocked(key, value);
+    if (dir.empty())
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = pathFor(key);
+    std::ofstream out(path);
+    if (!out) {
+        warn("result cache: cannot write %s", path.c_str());
+        return;
+    }
+    out << serialize(value);
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return numHits;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return numMisses;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+std::string
+ResultCache::serialize(const CachedResult &value)
+{
+    const MeasurementResult &m = value.result;
+    std::ostringstream out;
+    out << "hmcsim-result v1\n";
+    out << "patternName " << m.patternName << '\n';
+    out << "mix " << static_cast<std::uint64_t>(m.mix) << '\n';
+    out << "requestSize " << m.requestSize << '\n';
+    out << "rawGBps " << fmtDouble(m.rawGBps) << '\n';
+    out << "mrps " << fmtDouble(m.mrps) << '\n';
+    out << "readMrps " << fmtDouble(m.readMrps) << '\n';
+    out << "writeMrps " << fmtDouble(m.writeMrps) << '\n';
+    out << "readPayloadGBps " << fmtDouble(m.readPayloadGBps) << '\n';
+    out << "writePayloadGBps " << fmtDouble(m.writePayloadGBps) << '\n';
+    putStats(out, "readLatencyNs", m.readLatencyNs);
+    putStats(out, "writeLatencyNs", m.writeLatencyNs);
+    out << "readLatencyP50Ns " << fmtDouble(m.readLatencyP50Ns) << '\n';
+    out << "readLatencyP99Ns " << fmtDouble(m.readLatencyP99Ns) << '\n';
+    out << "statDigest " << value.statDigest << '\n';
+    return out.str();
+}
+
+std::optional<CachedResult>
+ResultCache::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string header;
+    if (!std::getline(in, header) || header != "hmcsim-result v1")
+        return std::nullopt;
+
+    CachedResult value;
+    MeasurementResult &m = value.result;
+    std::uint64_t mix = 0;
+    if (!takeLine(in, "patternName", m.patternName) ||
+        !takeU64(in, "mix", mix) ||
+        !takeU64(in, "requestSize", m.requestSize) ||
+        !takeDouble(in, "rawGBps", m.rawGBps) ||
+        !takeDouble(in, "mrps", m.mrps) ||
+        !takeDouble(in, "readMrps", m.readMrps) ||
+        !takeDouble(in, "writeMrps", m.writeMrps) ||
+        !takeDouble(in, "readPayloadGBps", m.readPayloadGBps) ||
+        !takeDouble(in, "writePayloadGBps", m.writePayloadGBps) ||
+        !takeStats(in, "readLatencyNs", m.readLatencyNs) ||
+        !takeStats(in, "writeLatencyNs", m.writeLatencyNs) ||
+        !takeDouble(in, "readLatencyP50Ns", m.readLatencyP50Ns) ||
+        !takeDouble(in, "readLatencyP99Ns", m.readLatencyP99Ns) ||
+        !takeU64(in, "statDigest", value.statDigest)) {
+        return std::nullopt;
+    }
+    m.mix = static_cast<RequestMix>(mix);
+    return value;
+}
+
+} // namespace hmcsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Content-addressed cache of measured experiment results.
+ *
+ * Keys are configDigest() values: a result is reusable exactly when
+ * the full configuration (pattern, mix, size, mode, ports, windows,
+ * seed, device, calibration) hashes identically. The cache keeps a
+ * bounded in-memory LRU map and, when constructed with a directory,
+ * persists every stored result as one small text file
+ * (<digest>.result) so a re-run of a bench suite or sweep skips
+ * already-measured points across processes.
+ *
+ * The on-disk format round-trips doubles as C99 hex floats (%a), so a
+ * cache hit is bit-identical to the original measurement -- the
+ * determinism contract (serial == parallel == cached) survives
+ * persistence.
+ *
+ * Thread safety: all public members are safe to call concurrently;
+ * the sweep runner's workers share one instance.
+ */
+
+#ifndef HMCSIM_RUNNER_RESULT_CACHE_HH
+#define HMCSIM_RUNNER_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "host/experiment.hh"
+
+namespace hmcsim
+{
+
+/** What the cache stores per configuration digest. */
+struct CachedResult
+{
+    MeasurementResult result;
+    /** StatRegistry::digest() of the run that produced the result. */
+    std::uint64_t statDigest = 0;
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * @param dir Persistence directory; empty = in-memory only. The
+     *        directory is created on first store if missing.
+     * @param max_entries In-memory LRU capacity (disk files are never
+     *        evicted).
+     */
+    explicit ResultCache(std::string dir = "",
+                         std::size_t max_entries = 4096);
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** Find a result by config digest (memory first, then disk). */
+    std::optional<CachedResult> lookup(std::uint64_t key);
+
+    /** Store a result under @p key (memory + disk when persistent). */
+    void store(std::uint64_t key, const CachedResult &value);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    /** Entries currently resident in memory. */
+    std::size_t size() const;
+
+    /** Canonical text serialization (exposed for tests/tooling). */
+    static std::string serialize(const CachedResult &value);
+    /** Parse serialize() output; nullopt on malformed input. */
+    static std::optional<CachedResult>
+    deserialize(const std::string &text);
+
+  private:
+    void insertLocked(std::uint64_t key, const CachedResult &value);
+    std::string pathFor(std::uint64_t key) const;
+
+    struct Entry
+    {
+        CachedResult value;
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    mutable std::mutex mutex;
+    std::string dir;
+    std::size_t maxEntries;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    /** Front = most recently used. */
+    std::list<std::uint64_t> lru;
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_RUNNER_RESULT_CACHE_HH

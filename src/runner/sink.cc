@@ -1,0 +1,127 @@
+#include "runner/sink.hh"
+
+#include <cstdio>
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** Shortest round-trippable decimal form of a double. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtHex64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Minimal JSON string escape (names are ASCII identifiers here). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+JsonLinesSink::write(const SweepPointResult &p)
+{
+    const MeasurementResult &m = p.result;
+    out << "{\"digest\":\"" << fmtHex64(p.digest) << "\""
+        << ",\"pattern\":\"" << jsonEscape(m.patternName) << "\""
+        << ",\"mix\":\"" << requestMixName(m.mix) << "\""
+        << ",\"size\":" << m.requestSize
+        << ",\"mode\":\"" << addressingModeName(p.config.mode) << "\""
+        << ",\"ports\":" << p.config.numPorts
+        << ",\"seed\":" << p.config.seed
+        << ",\"raw_gbps\":" << fmtDouble(m.rawGBps)
+        << ",\"mrps\":" << fmtDouble(m.mrps)
+        << ",\"read_mrps\":" << fmtDouble(m.readMrps)
+        << ",\"write_mrps\":" << fmtDouble(m.writeMrps)
+        << ",\"read_payload_gbps\":" << fmtDouble(m.readPayloadGBps)
+        << ",\"write_payload_gbps\":" << fmtDouble(m.writePayloadGBps)
+        << ",\"read_lat_avg_ns\":" << fmtDouble(m.readLatencyNs.mean())
+        << ",\"read_lat_min_ns\":" << fmtDouble(m.readLatencyNs.min())
+        << ",\"read_lat_max_ns\":" << fmtDouble(m.readLatencyNs.max())
+        << ",\"read_lat_count\":" << m.readLatencyNs.count()
+        << ",\"write_lat_avg_ns\":" << fmtDouble(m.writeLatencyNs.mean())
+        << ",\"read_lat_p50_ns\":" << fmtDouble(m.readLatencyP50Ns)
+        << ",\"read_lat_p99_ns\":" << fmtDouble(m.readLatencyP99Ns)
+        << ",\"stat_digest\":\"" << fmtHex64(p.statDigest) << "\"";
+    if (includeTiming) {
+        out << ",\"wall_ms\":" << fmtDouble(p.wallMs)
+            << ",\"from_cache\":" << (p.fromCache ? "true" : "false");
+    }
+    out << "}\n";
+}
+
+void
+JsonLinesSink::finish()
+{
+    out.flush();
+}
+
+void
+CsvSink::write(const SweepPointResult &p)
+{
+    if (!wroteHeader) {
+        out << "digest,pattern,mix,size,mode,ports,seed,raw_gbps,mrps,"
+               "read_mrps,write_mrps,read_payload_gbps,"
+               "write_payload_gbps,read_lat_avg_ns,read_lat_min_ns,"
+               "read_lat_max_ns,read_lat_count,write_lat_avg_ns,"
+               "read_lat_p50_ns,read_lat_p99_ns,stat_digest";
+        if (includeTiming)
+            out << ",wall_ms,from_cache";
+        out << '\n';
+        wroteHeader = true;
+    }
+    const MeasurementResult &m = p.result;
+    // Pattern names contain spaces but never commas or quotes.
+    out << fmtHex64(p.digest) << ',' << m.patternName << ','
+        << requestMixName(m.mix) << ',' << m.requestSize << ','
+        << addressingModeName(p.config.mode) << ','
+        << p.config.numPorts << ',' << p.config.seed << ','
+        << fmtDouble(m.rawGBps) << ',' << fmtDouble(m.mrps) << ','
+        << fmtDouble(m.readMrps) << ',' << fmtDouble(m.writeMrps) << ','
+        << fmtDouble(m.readPayloadGBps) << ','
+        << fmtDouble(m.writePayloadGBps) << ','
+        << fmtDouble(m.readLatencyNs.mean()) << ','
+        << fmtDouble(m.readLatencyNs.min()) << ','
+        << fmtDouble(m.readLatencyNs.max()) << ','
+        << m.readLatencyNs.count() << ','
+        << fmtDouble(m.writeLatencyNs.mean()) << ','
+        << fmtDouble(m.readLatencyP50Ns) << ','
+        << fmtDouble(m.readLatencyP99Ns) << ','
+        << fmtHex64(p.statDigest);
+    if (includeTiming)
+        out << ',' << fmtDouble(p.wallMs) << ','
+            << (p.fromCache ? 1 : 0);
+    out << '\n';
+}
+
+void
+CsvSink::finish()
+{
+    out.flush();
+}
+
+} // namespace hmcsim

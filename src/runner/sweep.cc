@@ -1,0 +1,141 @@
+#include "runner/sweep.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "runner/config_digest.hh"
+#include "runner/thread_pool.hh"
+#include "sim/random.hh"
+
+namespace hmcsim
+{
+
+std::uint64_t
+deriveSeed(std::uint64_t sweep_seed, const ExperimentConfig &cfg)
+{
+    std::uint64_t state =
+        sweep_seed ^ configDigest(cfg, /*include_seed=*/false);
+    const std::uint64_t seed = splitMix64(state);
+    // Seed 0 is reserved as "degenerate" by some generators; remap.
+    return seed ? seed : 1;
+}
+
+ExperimentConfig
+withDerivedSeed(ExperimentConfig cfg, std::uint64_t sweep_seed)
+{
+    cfg.seed = deriveSeed(sweep_seed, cfg);
+    return cfg;
+}
+
+std::vector<ExperimentConfig>
+SweepAxes::expand() const
+{
+    // An empty axis contributes the base config's value as its single
+    // point, so the nesting below never degenerates to zero points.
+    const auto patternAxis =
+        patterns.empty() ? std::vector<AccessPattern>{base.pattern}
+                         : patterns;
+    const auto mixAxis =
+        mixes.empty() ? std::vector<RequestMix>{base.mix} : mixes;
+    const auto sizeAxis =
+        sizes.empty() ? std::vector<Bytes>{base.requestSize} : sizes;
+    const auto modeAxis =
+        modes.empty() ? std::vector<AddressingMode>{base.mode} : modes;
+    const auto portAxis =
+        ports.empty() ? std::vector<unsigned>{base.numPorts} : ports;
+
+    std::vector<ExperimentConfig> out;
+    out.reserve(patternAxis.size() * mixAxis.size() * sizeAxis.size() *
+                modeAxis.size() * portAxis.size());
+    for (const AccessPattern &pattern : patternAxis) {
+        for (const RequestMix mix : mixAxis) {
+            for (const Bytes size : sizeAxis) {
+                for (const AddressingMode mode : modeAxis) {
+                    for (const unsigned numPorts : portAxis) {
+                        ExperimentConfig cfg = base;
+                        cfg.pattern = pattern;
+                        cfg.mix = mix;
+                        cfg.requestSize = size;
+                        cfg.mode = mode;
+                        cfg.numPorts = numPorts;
+                        out.push_back(std::move(cfg));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts(std::move(opts)) {}
+
+SweepPointResult
+SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg) const
+{
+    SweepPointResult point;
+    point.index = index;
+    point.config = cfg;
+    point.digest = configDigest(cfg);
+
+    if (opts.cache) {
+        if (const auto cached = opts.cache->lookup(point.digest)) {
+            point.result = cached->result;
+            point.statDigest = cached->statDigest;
+            point.fromCache = true;
+            return point;
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    point.result = runExperiment(cfg, &point.statDigest);
+    const auto stop = std::chrono::steady_clock::now();
+    point.wallMs =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+
+    if (opts.cache)
+        opts.cache->store(point.digest,
+                          {point.result, point.statDigest});
+    return point;
+}
+
+std::vector<SweepPointResult>
+SweepRunner::run(std::vector<ExperimentConfig> configs)
+{
+    // Seed derivation happens up front, identically for the inline
+    // and pooled paths -- a job's identity is fixed before dispatch.
+    if (opts.deriveSeeds) {
+        for (ExperimentConfig &cfg : configs)
+            cfg.seed = deriveSeed(opts.sweepSeed, cfg);
+    }
+
+    std::vector<SweepPointResult> results(configs.size());
+    const unsigned jobs =
+        opts.jobs ? opts.jobs : ThreadPool::hardwareConcurrency();
+    if (jobs <= 1 || configs.size() <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = runPoint(i, configs[i]);
+    } else {
+        const auto cap = static_cast<unsigned>(configs.size());
+        ThreadPool pool(jobs < cap ? jobs : cap);
+        pool.parallelFor(configs.size(), [&](std::size_t i) {
+            results[i] = runPoint(i, configs[i]);
+        });
+    }
+
+    // Sinks run on the caller's thread, in canonical order, so their
+    // output never depends on completion order.
+    for (ResultSink *sink : opts.sinks) {
+        for (const SweepPointResult &point : results)
+            sink->write(point);
+        sink->finish();
+    }
+    return results;
+}
+
+std::vector<SweepPointResult>
+SweepRunner::run(const SweepAxes &axes)
+{
+    return run(axes.expand());
+}
+
+} // namespace hmcsim

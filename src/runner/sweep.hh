@@ -1,0 +1,113 @@
+/**
+ * @file
+ * SweepRunner: the parallel experiment-campaign orchestrator.
+ *
+ * Every figure/table bench and the CLI `sweep` subcommand replay the
+ * paper's sweep axes (pattern x mix x size x mode x ports x device
+ * overrides). Each point is an isolated build-run-measure unit
+ * (ExperimentConfig -> fresh Ac510Module -> MeasurementResult), so a
+ * campaign parallelizes perfectly -- as long as nothing about a
+ * point's identity depends on *when* or *where* it ran.
+ *
+ * Determinism contract (tested in tests/test_runner.cc, enforced by
+ * CI's --jobs 1 vs --jobs 2 JSONL diff):
+ *
+ *  1. Axis expansion is canonical: patterns outermost, then mix,
+ *     size, mode, ports. The job list is a pure function of the axes.
+ *  2. Per-job seeds derive from sweepSeed ^ configDigest(cfg, no
+ *     seed) -- content, never submission order or thread identity.
+ *  3. Workers write results into pre-assigned slots; sinks observe
+ *     results in canonical order only after the sweep completes.
+ *
+ * Therefore `--jobs N` is bit-identical to `--jobs 1`, and a cached
+ * result is bit-identical to a fresh measurement.
+ */
+
+#ifndef HMCSIM_RUNNER_SWEEP_HH
+#define HMCSIM_RUNNER_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gups/patterns.hh"
+#include "host/experiment.hh"
+#include "runner/result_cache.hh"
+#include "runner/sink.hh"
+
+namespace hmcsim
+{
+
+/**
+ * Derive the seed for one sweep point: mixes the campaign seed with
+ * the point's content digest (seed field excluded) through SplitMix64
+ * so neighboring points get decorrelated generator streams. Never
+ * returns 0. Identical for the serial and parallel paths by
+ * construction -- this function is the single source of truth.
+ */
+std::uint64_t deriveSeed(std::uint64_t sweep_seed,
+                         const ExperimentConfig &cfg);
+
+/** cfg with its seed replaced by deriveSeed(sweep_seed, cfg). */
+ExperimentConfig withDerivedSeed(ExperimentConfig cfg,
+                                 std::uint64_t sweep_seed);
+
+/**
+ * A sweep's axes. expand() produces the cross product over a shared
+ * base config in canonical order; empty axes mean "keep the base
+ * config's value" (a single implicit point on that axis).
+ */
+struct SweepAxes
+{
+    std::vector<AccessPattern> patterns;
+    std::vector<RequestMix> mixes;
+    std::vector<Bytes> sizes;
+    std::vector<AddressingMode> modes;
+    std::vector<unsigned> ports;
+    /** Windows, device overrides, and calibration for every point. */
+    ExperimentConfig base;
+
+    /** Cross product in canonical nesting order (patterns outermost). */
+    std::vector<ExperimentConfig> expand() const;
+};
+
+/** Orchestration knobs. */
+struct SweepOptions
+{
+    /** Concurrent jobs; 0 = hardware concurrency, 1 = run inline. */
+    unsigned jobs = 0;
+    /** Campaign seed mixed into every per-job seed. */
+    std::uint64_t sweepSeed = 1;
+    /**
+     * Replace each config's seed via deriveSeed(). Off = respect the
+     * seeds the caller set (still jobs-invariant, but two identical
+     * configs then share one generator stream).
+     */
+    bool deriveSeeds = true;
+    /** Optional result cache consulted before and fed after each job. */
+    ResultCache *cache = nullptr;
+    /** Sinks written in canonical order after the sweep completes. */
+    std::vector<ResultSink *> sinks;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /** Run every config; results come back in input order. */
+    std::vector<SweepPointResult>
+    run(std::vector<ExperimentConfig> configs);
+
+    /** Expand @p axes and run the cross product. */
+    std::vector<SweepPointResult> run(const SweepAxes &axes);
+
+  private:
+    SweepPointResult runPoint(std::size_t index,
+                              const ExperimentConfig &cfg) const;
+
+    SweepOptions opts;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_RUNNER_SWEEP_HH

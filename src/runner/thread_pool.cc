@@ -1,0 +1,129 @@
+#include "runner/thread_pool.hh"
+
+#include <utility>
+
+namespace hmcsim
+{
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : workerCount(num_threads ? num_threads : hardwareConcurrency())
+{
+    queues.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        // Publish the stop flag under the sleep mutex so no worker can
+        // check it, decide to wait, and then miss the notify.
+        std::lock_guard<std::mutex> lock(sleepMutex);
+        stopping.store(true);
+    }
+    wake.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(Task task)
+{
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::move(task));
+    std::future<void> future = packaged->get_future();
+
+    const unsigned slot =
+        nextQueue.fetch_add(1, std::memory_order_relaxed) % numWorkers();
+    {
+        std::lock_guard<std::mutex> lock(queues[slot]->mutex);
+        queues[slot]->tasks.emplace_back(
+            [packaged] { (*packaged)(); });
+    }
+    pending.fetch_add(1, std::memory_order_release);
+    wake.notify_one();
+    return future;
+}
+
+bool
+ThreadPool::tryRunOne(unsigned self)
+{
+    Task task;
+    {
+        // Own work first, newest-first.
+        std::lock_guard<std::mutex> lock(queues[self]->mutex);
+        if (!queues[self]->tasks.empty()) {
+            task = std::move(queues[self]->tasks.back());
+            queues[self]->tasks.pop_back();
+        }
+    }
+    if (!task) {
+        // Steal oldest-first from the siblings.
+        const unsigned n = numWorkers();
+        for (unsigned off = 1; off < n && !task; ++off) {
+            WorkerQueue &victim = *queues[(self + off) % n];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                task = std::move(victim.tasks.front());
+                victim.tasks.pop_front();
+            }
+        }
+    }
+    if (!task)
+        return false;
+
+    pending.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        if (tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex);
+        if (stopping.load() && pending.load() == 0)
+            return;
+        wake.wait(lock, [this] {
+            return stopping.load() || pending.load() > 0;
+        });
+        if (stopping.load() && pending.load() == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(submit([&fn, i] { fn(i); }));
+
+    std::exception_ptr first;
+    for (std::future<void> &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace hmcsim

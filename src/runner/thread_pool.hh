@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Work-stealing thread pool for sweep orchestration.
+ *
+ * Each worker owns a deque of tasks: it pops its own work LIFO (hot
+ * caches) and steals FIFO from siblings when empty, so a burst of
+ * submissions spreads across cores without a single contended queue.
+ * Tasks are coarse (one simulated experiment each, milliseconds of
+ * CPU), so the pool optimizes for simplicity and provable race
+ * freedom over sub-microsecond dispatch.
+ *
+ * Determinism contract: the pool makes NO ordering promises between
+ * tasks. Anything that must be reproducible (seeds, output order)
+ * must be fixed *before* submission and reassembled by slot *after*
+ * completion -- see SweepRunner, which derives per-job seeds from
+ * content digests and writes results into pre-assigned indices.
+ */
+
+#ifndef HMCSIM_RUNNER_THREAD_POOL_HH
+#define HMCSIM_RUNNER_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmcsim
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param num_threads Worker count; 0 = hardwareConcurrency().
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned numWorkers() const { return workerCount; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareConcurrency();
+
+    /**
+     * Enqueue @p task. The returned future completes when the task
+     * ran; an exception thrown by the task is captured and rethrown
+     * from future::get() on the caller's thread.
+     */
+    std::future<void> submit(Task task);
+
+    /**
+     * Run fn(0..n-1) across the pool and block until every index
+     * completed. The first captured exception (lowest index) is
+     * rethrown after all indices finished, so partial results are
+     * never silently torn.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    /** One worker's deque; stealable by every other worker. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool tryRunOne(unsigned self);
+
+    /**
+     * Fixed before any worker spawns; workers must consult this, not
+     * workers.size(), which the constructor is still growing while
+     * early workers already run.
+     */
+    const unsigned workerCount;
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+
+    std::mutex sleepMutex;
+    std::condition_variable wake;
+    /** Tasks submitted but not yet taken by a worker. */
+    std::atomic<std::size_t> pending{0};
+    std::atomic<bool> stopping{false};
+    /** Round-robin submission cursor. */
+    std::atomic<unsigned> nextQueue{0};
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_RUNNER_THREAD_POOL_HH

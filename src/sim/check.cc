@@ -16,8 +16,13 @@ namespace check_detail
 
 namespace
 {
-/** Tick reported in check failures; maxTick = outside a simulation. */
-Tick reportedTick = maxTick;
+/**
+ * Tick reported in check failures; maxTick = outside a simulation.
+ * thread_local: each sweep worker drives its own EventQueue, so "the
+ * current tick" is a per-thread notion -- a shared global here would
+ * both race and attribute one simulation's failure to another's time.
+ */
+thread_local Tick reportedTick = maxTick;
 } // namespace
 
 void

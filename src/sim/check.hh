@@ -43,10 +43,13 @@ namespace hmcsim
 namespace check_detail
 {
 
-/** Publish the tick reported by failing checks (EventQueue calls it). */
+/** Publish the tick reported by failing checks (EventQueue calls it).
+ *  The published value is thread-local: concurrent simulations each
+ *  report their own time (see the threading contract in host/ac510.hh). */
 void setCurrentTick(Tick now);
 
-/** Tick most recently published; maxTick when outside a simulation. */
+/** Tick most recently published on this thread; maxTick when the
+ *  thread is outside a simulation. */
 Tick currentTick();
 
 /** Shared failure path of the check macros: prints and aborts. */

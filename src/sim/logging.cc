@@ -1,18 +1,28 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace hmcsim
 {
 
 namespace
 {
-bool informEnabled = true;
+std::atomic<bool> informEnabled{true};
+
+/**
+ * Serializes the tag/message/newline triple so concurrent sweep
+ * workers (one simulator per thread, see host/ac510.hh) never
+ * interleave fragments of two reports on stderr.
+ */
+std::mutex reportMutex;
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    std::lock_guard<std::mutex> lock(reportMutex);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -51,7 +61,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -62,7 +72,7 @@ inform(const char *fmt, ...)
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace hmcsim

@@ -6,6 +6,11 @@
  * fatal()  - user/configuration error; exits with status 1.
  * warn()   - something questionable happened but simulation continues.
  * inform() - plain status message.
+ *
+ * Thread safety: all four are safe to call from concurrent sweep
+ * workers -- each report is emitted atomically under an internal
+ * mutex, and the inform() enable flag is atomic. setInformEnabled()
+ * is process-global; flip it before spawning workers.
  */
 
 #ifndef HMCSIM_SIM_LOGGING_HH

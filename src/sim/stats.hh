@@ -68,6 +68,40 @@ class SampleStats
     }
     double stddev() const;
 
+    /**
+     * Exact internal state, for bit-faithful round trips through the
+     * runner's result cache. min/max are the raw accumulators (+/-inf
+     * when empty), not the 0-defaulted accessor values.
+     */
+    struct Raw
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double welfordMean = 0.0;
+        double welfordM2 = 0.0;
+    };
+
+    Raw
+    raw() const
+    {
+        return {_count, _sum, _min, _max, welfordMean, welfordM2};
+    }
+
+    static SampleStats
+    fromRaw(const Raw &raw)
+    {
+        SampleStats s;
+        s._count = raw.count;
+        s._sum = raw.sum;
+        s._min = raw.min;
+        s._max = raw.max;
+        s.welfordMean = raw.welfordMean;
+        s.welfordM2 = raw.welfordM2;
+        return s;
+    }
+
   private:
     std::uint64_t _count = 0;
     double _sum = 0.0;
