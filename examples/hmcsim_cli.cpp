@@ -2,46 +2,21 @@
  * @file
  * hmcsim_cli -- run any paper-style experiment from the command line.
  *
- *     hmcsim_cli sweep [sweep options]   run a parallel campaign
- *       --jobs N                   concurrent jobs      (default: cores)
- *       --axis K=V1,V2,...         sweep axis, repeatable; K is one of
- *                                  vaults, banks, mix, size, mode,
- *                                  ports (default: the paper's
- *                                  pattern axis, ro, 128 B)
- *       --seed S                   campaign seed        (default 1)
- *       --measure-us N / --warmup-us N   per-point windows
- *       --out FILE                 JSON-lines results ("-" = stdout)
- *       --csv-out FILE             CSV results
- *       --cache DIR                persistent result cache
- *       --timing                   include wall-clock metadata
- *                                  (nondeterministic; off for diffs)
+ * Subcommands (`hmcsim_cli <command> --help` prints the same text):
  *
- *     hmcsim_cli [options]
- *       --mix ro|wo|rw|atomic      request mix          (default ro)
- *       --size N                   request bytes        (default 128)
- *       --vaults N                 vault pattern 1..16
- *       --banks N                  bank pattern 1..16 (within vault 0)
- *       --ports N                  active GUPS ports    (default 9)
- *       --linear                   linear addressing    (default random)
- *       --cooling 1..4             Table III config     (default 1)
- *       --measure-us N             window length        (default 1000)
- *       --maxblock 16|32|64|128    mode register        (default 128)
- *       --mapping vault|bank|contig  interleave scheme
- *       --ber X                    lane bit error rate  (default 0)
- *       --refresh X                refresh multiplier   (default off)
- *       --csv                      machine-readable one-line output
- *       --stats [prefix]           dump the component statistics
- *       --trace FILE [--window N]  replay a trace file instead
- *       --selfcheck                determinism self-check: run the
- *                                  config twice (short window) and
- *                                  compare stat-registry digests
+ *     run        one experiment + power/thermal solve (the default:
+ *                a bare flag list is treated as `run` for backwards
+ *                compatibility, including the legacy --selfcheck flag)
+ *     sweep      a parallel multi-point campaign with structured sinks
+ *     selfcheck  determinism probe: run the config twice, compare
+ *                bit-exact stat-registry digests
+ *     trace      one traced experiment: per-stage latency table plus
+ *                a Chrome/Perfetto JSON stream of sampled lifecycles
  *
- * Examples:
- *     hmcsim_cli --mix rw
- *     hmcsim_cli --banks 2 --size 32 --ports 4 --cooling 3
- *     hmcsim_cli --mapping contig --linear --csv
- *     hmcsim_cli --stats system.hmc.vault0
- *     hmcsim_cli --trace workload.trc --window 32
+ * Every subcommand spells the shared knobs identically: --seed,
+ * --out, --jobs (where jobs make sense), and the experiment flags
+ * below. `run` and `sweep` accept --trace-out/--trace-sample to
+ * attach the lifecycle tracer (docs/observability.md).
  */
 
 #include <chrono>
@@ -62,22 +37,80 @@
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
 #include "sim/stat_registry.hh"
+#include "trace/lifecycle.hh"
+#include "trace/trace_sink.hh"
 
 using namespace hmcsim;
 
 namespace
 {
 
-[[noreturn]] void
-usage(const char *argv0)
+void
+printHelp(std::FILE *out)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--mix ro|wo|rw|atomic] [--size N] "
-                 "[--vaults N | --banks N] [--ports N] [--linear] "
-                 "[--cooling 1..4] [--measure-us N] [--maxblock N] "
-                 "[--mapping vault|bank|contig] [--ber X] "
-                 "[--refresh X] [--csv] [--selfcheck]\n",
-                 argv0);
+    std::fputs(
+        "usage: hmcsim_cli [run] [options]        one experiment\n"
+        "       hmcsim_cli sweep [options]        parallel campaign\n"
+        "       hmcsim_cli selfcheck [options]    determinism probe\n"
+        "       hmcsim_cli trace [options]        traced experiment\n"
+        "\n"
+        "experiment options (all commands):\n"
+        "  --mix ro|wo|rw|atomic      request mix          (default ro)\n"
+        "  --size N                   request bytes        (default 128)\n"
+        "  --vaults N                 vault pattern 1..16  (default 16)\n"
+        "  --banks N                  bank pattern 1..16 (in vault 0)\n"
+        "  --ports N                  active GUPS ports    (default 9)\n"
+        "  --linear                   linear addressing  (default random)\n"
+        "  --measure-us N             measurement window\n"
+        "  --warmup-us N              warm-up window\n"
+        "  --maxblock 16|32|64|128    mode register        (default 128)\n"
+        "  --mapping vault|bank|contig  interleave scheme\n"
+        "  --ber X                    lane bit error rate  (default 0)\n"
+        "  --refresh X                refresh multiplier   (default off)\n"
+        "  --seed S                   experiment/campaign seed "
+        "(default 1)\n"
+        "\n"
+        "run options:\n"
+        "  --cooling 1..4             Table III config     (default 1)\n"
+        "  --csv                      machine-readable one-line output\n"
+        "  --out FILE                 write the CSV line to FILE "
+        "(\"-\" = stdout; implies --csv)\n"
+        "  --stats [prefix]           dump the component statistics\n"
+        "  --trace FILE [--window N]  replay a trace file instead\n"
+        "  --selfcheck                legacy spelling of `selfcheck`\n"
+        "\n"
+        "sweep options:\n"
+        "  --jobs N                   concurrent jobs      "
+        "(default: cores)\n"
+        "  --axis K=V1,V2,...         sweep axis, repeatable; K is one\n"
+        "                             of vaults, banks, mix, size, mode,\n"
+        "                             ports (default: paper pattern\n"
+        "                             axis, ro, 128 B)\n"
+        "  --out FILE                 JSON-lines results   "
+        "(\"-\" = stdout)\n"
+        "  --csv-out FILE             CSV results\n"
+        "  --cache DIR                persistent result cache\n"
+        "  --timing                   include wall-clock metadata\n"
+        "                             (nondeterministic; off for diffs)\n"
+        "\n"
+        "tracing options (run, sweep, trace):\n"
+        "  --trace-out FILE           Chrome/Perfetto JSON "
+        "(\"-\" = stdout; `trace` also accepts --out)\n"
+        "  --trace-sample N           emit 1-in-N sampled packets "
+        "(default 64; 1 = all)\n"
+        "\n"
+        "examples:\n"
+        "  hmcsim_cli run --mix rw --banks 2 --size 32\n"
+        "  hmcsim_cli sweep --jobs 4 --axis size=128,64,32 --out -\n"
+        "  hmcsim_cli trace --vaults 16 --out lifecycle.json\n"
+        "  hmcsim_cli selfcheck --seed 7\n",
+        out);
+}
+
+[[noreturn]] void
+usage()
+{
+    printHelp(stderr);
     std::exit(2);
 }
 
@@ -85,21 +118,8 @@ const char *
 next(int argc, char **argv, int &i)
 {
     if (++i >= argc)
-        usage(argv[0]);
+        usage();
     return argv[i];
-}
-
-[[noreturn]] void
-sweepUsage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s sweep [--jobs N] [--axis K=V1,V2,...] "
-                 "[--seed S] [--measure-us N] [--warmup-us N] "
-                 "[--out FILE] [--csv-out FILE] [--cache DIR] "
-                 "[--timing]\n"
-                 "axes: vaults, banks, mix, size, mode, ports\n",
-                 argv0);
-    std::exit(2);
 }
 
 std::vector<std::string>
@@ -113,38 +133,294 @@ splitCommas(const std::string &list)
     return out;
 }
 
+/** Experiment flags every subcommand accepts, plus the pattern
+ *  selection that resolves to cfg.pattern once parsing is done. */
+struct ExperimentFlags
+{
+    ExperimentConfig cfg;
+    unsigned vaults = 16;
+    unsigned banks = 0;
+
+    /** Resolve --vaults/--banks into cfg.pattern. */
+    void
+    resolvePattern()
+    {
+        const AddressMapper mapper(cfg.device.structure,
+                                   cfg.device.maxBlock, 256,
+                                   cfg.device.mapping);
+        cfg.pattern = banks ? bankPattern(mapper, banks)
+                            : vaultPattern(mapper, vaults);
+    }
+};
+
+/**
+ * The shared flag-parsing helper: consume one experiment flag at
+ * argv[i]. Returns false (leaving @p i untouched) when the flag
+ * belongs to the calling subcommand instead.
+ */
+bool
+parseExperimentFlag(ExperimentFlags &f, int argc, char **argv, int &i)
+{
+    const std::string arg = argv[i];
+    if (arg == "--mix") {
+        const std::string mix = next(argc, argv, i);
+        if (mix == "ro")
+            f.cfg.mix = RequestMix::ReadOnly;
+        else if (mix == "wo")
+            f.cfg.mix = RequestMix::WriteOnly;
+        else if (mix == "rw")
+            f.cfg.mix = RequestMix::ReadModifyWrite;
+        else if (mix == "atomic")
+            f.cfg.mix = RequestMix::Atomic;
+        else
+            usage();
+    } else if (arg == "--size") {
+        f.cfg.requestSize =
+            std::strtoull(next(argc, argv, i), nullptr, 0);
+    } else if (arg == "--vaults") {
+        f.vaults = static_cast<unsigned>(
+            std::strtoul(next(argc, argv, i), nullptr, 0));
+        f.banks = 0;
+    } else if (arg == "--banks") {
+        f.banks = static_cast<unsigned>(
+            std::strtoul(next(argc, argv, i), nullptr, 0));
+    } else if (arg == "--ports") {
+        f.cfg.numPorts = static_cast<unsigned>(
+            std::strtoul(next(argc, argv, i), nullptr, 0));
+    } else if (arg == "--linear") {
+        f.cfg.mode = AddressingMode::Linear;
+    } else if (arg == "--measure-us") {
+        f.cfg.measure =
+            std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
+    } else if (arg == "--warmup-us") {
+        f.cfg.warmup =
+            std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
+    } else if (arg == "--maxblock") {
+        f.cfg.device.maxBlock = static_cast<MaxBlockSize>(
+            std::strtoul(next(argc, argv, i), nullptr, 0));
+    } else if (arg == "--mapping") {
+        const std::string scheme = next(argc, argv, i);
+        if (scheme == "vault")
+            f.cfg.device.mapping = MappingScheme::VaultFirst;
+        else if (scheme == "bank")
+            f.cfg.device.mapping = MappingScheme::BankFirst;
+        else if (scheme == "contig")
+            f.cfg.device.mapping = MappingScheme::ContiguousVault;
+        else
+            usage();
+    } else if (arg == "--ber") {
+        f.cfg.controller.bitErrorRate =
+            std::strtod(next(argc, argv, i), nullptr);
+    } else if (arg == "--refresh") {
+        f.cfg.device.vault.refreshEnabled = true;
+        f.cfg.device.vault.refreshMultiplier =
+            std::strtod(next(argc, argv, i), nullptr);
+    } else if (arg == "--seed") {
+        f.cfg.seed = std::strtoull(next(argc, argv, i), nullptr, 0);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Tracing flags shared by run, sweep, and trace. */
+struct TraceFlags
+{
+    std::string outPath;
+    std::uint64_t samplePeriod = 64;
+};
+
+bool
+parseTraceFlag(TraceFlags &t, int argc, char **argv, int &i)
+{
+    const std::string arg = argv[i];
+    if (arg == "--trace-out") {
+        t.outPath = next(argc, argv, i);
+    } else if (arg == "--trace-sample") {
+        t.samplePeriod =
+            std::strtoull(next(argc, argv, i), nullptr, 0);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Open @p path for writing ("-" = stdout); exits on failure. */
+std::ostream *
+openOut(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return &std::cout;
+    file.open(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    return &file;
+}
+
+void
+printStageTable(std::FILE *out, const StageBreakdown &b)
+{
+    std::fprintf(out,
+                 "stage breakdown (%llu lifecycles):\n"
+                 "  %-12s %10s %9s %9s %9s %7s\n",
+                 static_cast<unsigned long long>(b.endToEndNs.count()),
+                 "stage", "count", "avg ns", "min ns", "max ns",
+                 "share");
+    const double end_to_end = b.endToEndNs.mean();
+    for (unsigned i = 0; i < numLifecycleStages; ++i) {
+        const SampleStats &s = b.stageNs[i];
+        std::fprintf(
+            out, "  %-12s %10llu %9.1f %9.1f %9.1f %6.1f%%\n",
+            lifecycleStageName(static_cast<LifecycleStage>(i)),
+            static_cast<unsigned long long>(s.count()), s.mean(),
+            s.min(), s.max(),
+            end_to_end > 0.0 ? 100.0 * s.mean() / end_to_end : 0.0);
+    }
+    std::fprintf(out, "  %-12s %10llu %9.1f %9.1f %9.1f %6.1f%%\n",
+                 "end-to-end",
+                 static_cast<unsigned long long>(b.endToEndNs.count()),
+                 b.endToEndNs.mean(), b.endToEndNs.min(),
+                 b.endToEndNs.max(), end_to_end > 0.0 ? 100.0 : 0.0);
+}
+
+int
+runSelfCheck(ExperimentFlags flags)
+{
+    // Two back-to-back runs of the configured workload must be
+    // bit-identical; keep the window short, the point is identity
+    // rather than statistics.
+    flags.resolvePattern();
+    ExperimentConfig cfg = flags.cfg;
+    cfg.warmup = 10 * tickUs;
+    if (cfg.measure > 100 * tickUs)
+        cfg.measure = 100 * tickUs;
+    const SelfCheckResult r = hmcsim::runSelfCheck(cfg);
+    std::printf("selfcheck    : %zu stats, digests %016llx / "
+                "%016llx\n",
+                r.numStats,
+                static_cast<unsigned long long>(r.digestFirst),
+                static_cast<unsigned long long>(r.digestSecond));
+    if (r.identical()) {
+        std::printf("determinism  : ok (runs bit-identical)\n");
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "determinism  : FAILED, first mismatch at '%s'\n",
+                 r.firstMismatch.c_str());
+    return 1;
+}
+
+/** The `selfcheck` subcommand: experiment flags only. */
+int
+runSelfCheckCommand(int argc, char **argv, int first)
+{
+    ExperimentFlags flags;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        }
+        if (!parseExperimentFlag(flags, argc, argv, i))
+            usage();
+    }
+    return runSelfCheck(flags);
+}
+
+/** The `trace` subcommand: one traced run, stage table + JSON. */
+int
+runTraceCommand(int argc, char **argv, int first)
+{
+    ExperimentFlags flags;
+    // Tracing wants a short window: 100 us of full-scale GUPS already
+    // records thousands of lifecycles.
+    flags.cfg.warmup = 10 * tickUs;
+    flags.cfg.measure = 100 * tickUs;
+    TraceFlags trace;
+    trace.outPath = "-";
+
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        }
+        if (arg == "--out") {
+            trace.outPath = next(argc, argv, i);
+            continue;
+        }
+        if (parseTraceFlag(trace, argc, argv, i))
+            continue;
+        if (!parseExperimentFlag(flags, argc, argv, i))
+            usage();
+    }
+    flags.resolvePattern();
+
+    ChromeTraceBuffer buffer;
+    RunOptions opts;
+    opts.trace.enabled = true;
+    opts.trace.samplePeriod = trace.samplePeriod;
+    opts.trace.sink = &buffer;
+    RunArtifacts artifacts;
+    const MeasurementResult m =
+        runExperiment(flags.cfg, opts, &artifacts);
+
+    std::ofstream file;
+    std::ostream *out = openOut(trace.outPath, file);
+    writeChromeTrace(*out, buffer.events());
+    out->flush();
+
+    // The table goes to stderr so `--out -` still pipes clean JSON.
+    std::fprintf(stderr, "pattern      : %s (%s, %llu B, %u ports)\n",
+                 m.patternName.c_str(), requestMixName(m.mix),
+                 static_cast<unsigned long long>(m.requestSize),
+                 flags.cfg.numPorts);
+    std::fprintf(stderr, "raw bandwidth: %.2f GB/s  (%.1f MRPS)\n",
+                 m.rawGBps, m.mrps);
+    printStageTable(stderr, m.stages);
+    std::fprintf(stderr,
+                 "trace        : %s (1-in-%llu sampling, digest "
+                 "%016llx)\n",
+                 trace.outPath.c_str(),
+                 static_cast<unsigned long long>(trace.samplePeriod),
+                 static_cast<unsigned long long>(artifacts.statDigest));
+    return 0;
+}
+
 /**
  * The `sweep` subcommand: expand --axis specs into a campaign, run it
  * across --jobs workers, and emit structured results.
  */
 int
-runSweepCommand(int argc, char **argv)
+runSweepCommand(int argc, char **argv, int first)
 {
     SweepAxes axes;
     SweepOptions opts;
+    ExperimentFlags base;
+    TraceFlags trace;
     std::vector<unsigned> vaultAxis;
     std::vector<unsigned> bankAxis;
     std::string outPath;
     std::string csvPath;
     std::string cacheDir;
     bool timing = false;
-    axes.base.warmup = 10 * tickUs;
-    axes.base.measure = 100 * tickUs;
+    base.cfg.warmup = 10 * tickUs;
+    base.cfg.measure = 100 * tickUs;
 
-    for (int i = 2; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        }
         if (arg == "--jobs") {
             opts.jobs = static_cast<unsigned>(
                 std::strtoul(next(argc, argv, i), nullptr, 0));
         } else if (arg == "--seed") {
             opts.sweepSeed =
                 std::strtoull(next(argc, argv, i), nullptr, 0);
-        } else if (arg == "--measure-us") {
-            axes.base.measure =
-                std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
-        } else if (arg == "--warmup-us") {
-            axes.base.warmup =
-                std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
         } else if (arg == "--out") {
             outPath = next(argc, argv, i);
         } else if (arg == "--csv-out") {
@@ -153,16 +429,18 @@ runSweepCommand(int argc, char **argv)
             cacheDir = next(argc, argv, i);
         } else if (arg == "--timing") {
             timing = true;
+        } else if (parseTraceFlag(trace, argc, argv, i)) {
+            // handled
         } else if (arg == "--axis") {
             const std::string spec = next(argc, argv, i);
             const std::size_t eq = spec.find('=');
             if (eq == std::string::npos)
-                sweepUsage(argv[0]);
+                usage();
             const std::string key = spec.substr(0, eq);
             const std::vector<std::string> values =
                 splitCommas(spec.substr(eq + 1));
             if (values.empty())
-                sweepUsage(argv[0]);
+                usage();
             for (const std::string &value : values) {
                 if (key == "vaults") {
                     vaultAxis.push_back(static_cast<unsigned>(
@@ -187,22 +465,25 @@ runSweepCommand(int argc, char **argv)
                     else if (value == "atomic")
                         axes.mixes.push_back(RequestMix::Atomic);
                     else
-                        sweepUsage(argv[0]);
+                        usage();
                 } else if (key == "mode") {
                     if (value == "random")
                         axes.modes.push_back(AddressingMode::Random);
                     else if (value == "linear")
                         axes.modes.push_back(AddressingMode::Linear);
                     else
-                        sweepUsage(argv[0]);
+                        usage();
                 } else {
-                    sweepUsage(argv[0]);
+                    usage();
                 }
             }
+        } else if (parseExperimentFlag(base, argc, argv, i)) {
+            // Experiment flags season every point's base config.
         } else {
-            sweepUsage(argv[0]);
+            usage();
         }
     }
+    axes.base = base.cfg;
 
     const AddressMapper mapper(axes.base.device.structure,
                                axes.base.device.maxBlock, 256,
@@ -218,6 +499,11 @@ runSweepCommand(int argc, char **argv)
     if (!cacheDir.empty()) {
         cache = std::make_unique<ResultCache>(cacheDir);
         opts.cache = cache.get();
+    }
+
+    if (!trace.outPath.empty()) {
+        opts.trace.enabled = true;
+        opts.trace.samplePeriod = trace.samplePeriod;
     }
 
     std::ofstream outFile;
@@ -254,6 +540,13 @@ runSweepCommand(int argc, char **argv)
     const std::vector<SweepPointResult> results = runner.run(axes);
     const auto stop = std::chrono::steady_clock::now();
 
+    if (!trace.outPath.empty()) {
+        std::ofstream traceFile;
+        std::ostream *traceStream = openOut(trace.outPath, traceFile);
+        writeChromeTrace(*traceStream, joinTraceEvents(results));
+        traceStream->flush();
+    }
+
     std::size_t cached = 0;
     for (const SweepPointResult &point : results)
         cached += point.fromCache ? 1 : 0;
@@ -266,76 +559,34 @@ runSweepCommand(int argc, char **argv)
     return 0;
 }
 
-} // namespace
-
+/** The `run` subcommand -- also the legacy flag-style entry point. */
 int
-main(int argc, char **argv)
+runRunCommand(int argc, char **argv, int first)
 {
-    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
-        return runSweepCommand(argc, argv);
-
-    ExperimentConfig cfg;
+    ExperimentFlags flags;
+    TraceFlags trace;
     unsigned cooling = 1;
-    unsigned vaults = 16;
-    unsigned banks = 0;
     bool csv = false;
     bool selfcheck = false;
     bool dump_stats = false;
+    std::string out_path;
     std::string stats_prefix;
-    std::string trace_file;
-    unsigned trace_window = 64;
+    std::string replay_file;
+    unsigned replay_window = 64;
 
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--mix") {
-            const std::string mix = next(argc, argv, i);
-            if (mix == "ro")
-                cfg.mix = RequestMix::ReadOnly;
-            else if (mix == "wo")
-                cfg.mix = RequestMix::WriteOnly;
-            else if (mix == "rw")
-                cfg.mix = RequestMix::ReadModifyWrite;
-            else if (mix == "atomic")
-                cfg.mix = RequestMix::Atomic;
-            else
-                usage(argv[0]);
-        } else if (arg == "--size") {
-            cfg.requestSize = std::strtoull(next(argc, argv, i), nullptr, 0);
-        } else if (arg == "--vaults") {
-            vaults = std::strtoul(next(argc, argv, i), nullptr, 0);
-            banks = 0;
-        } else if (arg == "--banks") {
-            banks = std::strtoul(next(argc, argv, i), nullptr, 0);
-        } else if (arg == "--ports") {
-            cfg.numPorts = std::strtoul(next(argc, argv, i), nullptr, 0);
-        } else if (arg == "--linear") {
-            cfg.mode = AddressingMode::Linear;
-        } else if (arg == "--cooling") {
-            cooling = std::strtoul(next(argc, argv, i), nullptr, 0);
-        } else if (arg == "--measure-us") {
-            cfg.measure =
-                std::strtoull(next(argc, argv, i), nullptr, 0) * tickUs;
-        } else if (arg == "--maxblock") {
-            cfg.device.maxBlock = static_cast<MaxBlockSize>(
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        }
+        if (arg == "--cooling") {
+            cooling = static_cast<unsigned>(
                 std::strtoul(next(argc, argv, i), nullptr, 0));
-        } else if (arg == "--mapping") {
-            const std::string scheme = next(argc, argv, i);
-            if (scheme == "vault")
-                cfg.device.mapping = MappingScheme::VaultFirst;
-            else if (scheme == "bank")
-                cfg.device.mapping = MappingScheme::BankFirst;
-            else if (scheme == "contig")
-                cfg.device.mapping = MappingScheme::ContiguousVault;
-            else
-                usage(argv[0]);
-        } else if (arg == "--ber") {
-            cfg.controller.bitErrorRate =
-                std::strtod(next(argc, argv, i), nullptr);
-        } else if (arg == "--refresh") {
-            cfg.device.vault.refreshEnabled = true;
-            cfg.device.vault.refreshMultiplier =
-                std::strtod(next(argc, argv, i), nullptr);
         } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--out") {
+            out_path = next(argc, argv, i);
             csv = true;
         } else if (arg == "--selfcheck") {
             selfcheck = true;
@@ -344,55 +595,37 @@ main(int argc, char **argv)
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 stats_prefix = argv[++i];
         } else if (arg == "--trace") {
-            trace_file = next(argc, argv, i);
+            replay_file = next(argc, argv, i);
         } else if (arg == "--window") {
-            trace_window = std::strtoul(next(argc, argv, i), nullptr, 0);
-        } else {
-            usage(argv[0]);
+            replay_window = static_cast<unsigned>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else if (parseTraceFlag(trace, argc, argv, i)) {
+            // handled
+        } else if (!parseExperimentFlag(flags, argc, argv, i)) {
+            usage();
         }
     }
 
-    if (selfcheck) {
-        // Two back-to-back runs of the configured workload must be
-        // bit-identical; keep the window short, the point is identity
-        // rather than statistics.
-        const AddressMapper m(cfg.device.structure, cfg.device.maxBlock,
-                              256, cfg.device.mapping);
-        cfg.pattern = banks ? bankPattern(m, banks)
-                            : vaultPattern(m, vaults);
-        cfg.warmup = 10 * tickUs;
-        if (cfg.measure > 100 * tickUs)
-            cfg.measure = 100 * tickUs;
-        const SelfCheckResult r = runSelfCheck(cfg);
-        std::printf("selfcheck    : %zu stats, digests %016llx / "
-                    "%016llx\n",
-                    r.numStats,
-                    static_cast<unsigned long long>(r.digestFirst),
-                    static_cast<unsigned long long>(r.digestSecond));
-        if (r.identical()) {
-            std::printf("determinism  : ok (runs bit-identical)\n");
-            return 0;
-        }
-        std::fprintf(stderr,
-                     "determinism  : FAILED, first mismatch at '%s'\n",
-                     r.firstMismatch.c_str());
-        return 1;
-    }
+    if (selfcheck)
+        return runSelfCheck(flags);
 
-    if (!trace_file.empty()) {
-        std::ifstream in(trace_file);
+    ExperimentConfig &cfg = flags.cfg;
+
+    if (!replay_file.empty()) {
+        std::ifstream in(replay_file);
         if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", trace_file.c_str());
+            std::fprintf(stderr, "cannot open %s\n",
+                         replay_file.c_str());
             return 1;
         }
-        const Trace trace = parseTrace(in);
+        const Trace replay = parseTrace(in);
         TraceReplayConfig rc;
-        rc.maxOutstanding = trace_window;
+        rc.maxOutstanding = replay_window;
         rc.device = cfg.device;
         rc.controller = cfg.controller;
-        const TraceReplayResult r = replayTrace(trace, rc);
+        const TraceReplayResult r = replayTrace(replay, rc);
         std::printf("trace        : %s (%zu records, window %u)\n",
-                    trace_file.c_str(), trace.size(), trace_window);
+                    replay_file.c_str(), replay.size(), replay_window);
         std::printf("raw bandwidth: %.2f GB/s (payload %.2f)\n",
                     r.rawGBps, r.payloadGBps);
         std::printf("request rate : %.1f MRPS\n", r.mrps);
@@ -407,19 +640,17 @@ main(int argc, char **argv)
     if (dump_stats) {
         // Run the configured workload on a raw module and dump every
         // registered counter.
-        const AddressMapper m(cfg.device.structure, cfg.device.maxBlock,
-                              256, cfg.device.mapping);
+        flags.resolvePattern();
         Ac510Config sys;
         sys.numPorts = cfg.numPorts;
         sys.port.mix = cfg.mix;
         sys.port.requestSize = cfg.requestSize;
         sys.port.mode = cfg.mode;
-        const AccessPattern pat = banks ? bankPattern(m, banks)
-                                        : vaultPattern(m, vaults);
-        sys.port.mask = pat.mask;
-        sys.port.antiMask = pat.antiMask;
+        sys.port.mask = cfg.pattern.mask;
+        sys.port.antiMask = cfg.pattern.antiMask;
         sys.device = cfg.device;
         sys.controller = cfg.controller;
+        sys.seed = cfg.seed;
         Ac510Module module(sys);
         StatRegistry registry;
         module.registerStats(registry, StatPath("system"));
@@ -434,28 +665,58 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const AddressMapper mapper(cfg.device.structure, cfg.device.maxBlock,
-                               256, cfg.device.mapping);
-    cfg.pattern = banks ? bankPattern(mapper, banks)
-                        : vaultPattern(mapper, vaults);
+    flags.resolvePattern();
 
-    const ThermalExperimentResult r =
-        runThermalExperiment(cfg, coolingConfig(cooling));
+    const bool tracing = !trace.outPath.empty();
+    ChromeTraceBuffer buffer;
+    RunOptions opts;
+    if (tracing) {
+        opts.trace.enabled = true;
+        opts.trace.samplePeriod = trace.samplePeriod;
+        opts.trace.sink = &buffer;
+    }
+
+    const ThermalExperimentResult r = runThermalExperiment(
+        cfg, coolingConfig(cooling), PowerParams{}, ThermalParams{},
+        opts);
     const MeasurementResult &m = r.measurement;
     const PowerThermalResult &pt = r.powerThermal;
 
+    if (tracing) {
+        std::ofstream traceFile;
+        std::ostream *traceStream = openOut(trace.outPath, traceFile);
+        writeChromeTrace(*traceStream, buffer.events());
+        traceStream->flush();
+    }
+
     if (csv) {
-        std::printf("pattern,mix,size,ports,mode,cooling,raw_gbps,mrps,"
-                    "lat_avg_ns,lat_min_ns,lat_max_ns,temp_c,system_w,"
-                    "failure\n");
-        std::printf("%s,%s,%llu,%u,%s,Cfg%u,%.3f,%.2f,%.0f,%.0f,%.0f,"
-                    "%.1f,%.1f,%d\n",
-                    m.patternName.c_str(), requestMixName(m.mix),
-                    static_cast<unsigned long long>(m.requestSize),
-                    cfg.numPorts, addressingModeName(cfg.mode), cooling,
-                    m.rawGBps, m.mrps, m.readLatencyNs.mean(),
-                    m.readLatencyNs.min(), m.readLatencyNs.max(),
-                    pt.temperatureC, pt.systemW, pt.failure ? 1 : 0);
+        std::FILE *out = stdout;
+        if (!out_path.empty() && out_path != "-") {
+            out = std::fopen(out_path.c_str(), "w");
+            if (!out) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             out_path.c_str());
+                return 1;
+            }
+        }
+        std::fprintf(out,
+                     "pattern,mix,size,ports,mode,cooling,raw_gbps,"
+                     "mrps,lat_avg_ns,lat_min_ns,lat_max_ns,temp_c,"
+                     "system_w,failure\n");
+        std::fprintf(out,
+                     "%s,%s,%llu,%u,%s,Cfg%u,%.3f,%.2f,%.0f,%.0f,"
+                     "%.0f,%.1f,%.1f,%d\n",
+                     m.patternName.c_str(), requestMixName(m.mix),
+                     static_cast<unsigned long long>(m.requestSize),
+                     cfg.numPorts, addressingModeName(cfg.mode),
+                     cooling, m.rawGBps, m.mrps,
+                     m.readLatencyNs.mean(), m.readLatencyNs.min(),
+                     m.readLatencyNs.max(), pt.temperatureC,
+                     pt.systemW, pt.failure ? 1 : 0);
+        if (out != stdout)
+            std::fclose(out);
+        if (tracing)
+            printStageTable(stderr, m.stages);
         return 0;
     }
 
@@ -475,6 +736,8 @@ main(int argc, char **argv)
         std::printf("write latency: avg %.0f ns\n",
                     m.writeLatencyNs.mean());
     }
+    if (tracing)
+        printStageTable(stdout, m.stages);
     std::printf("thermal      : %.1f C in %s (%s)\n", pt.temperatureC,
                 coolingConfig(cooling).name.c_str(),
                 pt.failure ? "THERMAL FAILURE" : "ok");
@@ -482,4 +745,26 @@ main(int argc, char **argv)
                 "%.2f W)\n",
                 pt.systemW, pt.hmcDynamicW, pt.leakageW);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "run")
+        return runRunCommand(argc, argv, 2);
+    if (cmd == "sweep")
+        return runSweepCommand(argc, argv, 2);
+    if (cmd == "selfcheck")
+        return runSelfCheckCommand(argc, argv, 2);
+    if (cmd == "trace")
+        return runTraceCommand(argc, argv, 2);
+    if (cmd == "--help" || cmd == "-h") {
+        printHelp(stdout);
+        return 0;
+    }
+    // Legacy flag-style invocation (and no arguments at all) is `run`.
+    return runRunCommand(argc, argv, 1);
 }

@@ -53,7 +53,7 @@ Bank::access(const DramTimings &t, PagePolicy policy, Tick ready,
         ++numRowHits;
     _busyTime += bank_free - start;
     busyUntil = bank_free;
-    return {data_ready, bank_free, hit};
+    return {data_ready, bank_free, hit, start};
 }
 
 Tick

@@ -33,6 +33,10 @@ struct BankAccessResult
     Tick bankFree;
     /** Whether the access hit an open row (open-page policy only). */
     bool rowHit;
+    /** When the bank actually began the access (after waiting out any
+     *  earlier row cycle); feeds the packet's tBankStart lifecycle
+     *  stamp. */
+    Tick start = 0;
 };
 
 /** DRAM bank state machine. */

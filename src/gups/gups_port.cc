@@ -6,6 +6,7 @@
 
 #include "sim/check.hh"
 #include "sim/logging.hh"
+#include "trace/lifecycle.hh"
 
 namespace hmcsim
 {
@@ -243,6 +244,12 @@ GupsPort::onResponse(const Packet &pkt)
         _stats.writePayloadBytes += pkt.payload;
         break;
     }
+
+    // Lifecycle tracing: this is the one place where a packet's full
+    // set of stage stamps is known. Disabled tracing costs exactly
+    // this untaken branch (bench_trace_overhead guards the claim).
+    if (cfg.tracer)
+        cfg.tracer->record(pkt);
 
     scheduleIssue();
 }

@@ -29,6 +29,8 @@
 namespace hmcsim
 {
 
+class PacketTracer;
+
 /** GUPS ports instantiated on the FPGA (one of ten is reserved). */
 constexpr unsigned gupsPortCount = 9;
 
@@ -60,6 +62,13 @@ struct GupsPortConfig
     bool staggerLinearStarts = true;
     /** External links the port's requests are distributed over. */
     unsigned numLinks = 2;
+    /**
+     * Lifecycle tracer fed every completed packet (trace/lifecycle.hh).
+     * Null (the default) is the zero-cost fast path: the only per-
+     * response overhead is this untaken branch. Not owned; shared by
+     * all ports of one system (Ac510Config::tracer wires it).
+     */
+    PacketTracer *tracer = nullptr;
 };
 
 /** Counters exposed by a port's monitoring unit. */

@@ -113,6 +113,7 @@ QueuedVaultController::startNext(unsigned bank_idx)
     BankAccessResult res =
         banks[bank_idx].access(cfg.base.timings, cfg.base.policy, ready,
                                pkt.row, pkt.payload, is_write);
+    pkt.tBankStart = res.start;
     if (pkt.cmd == Command::Atomic)
         res.dataReady += cfg.base.atomicLatency;
 

@@ -63,6 +63,23 @@ VaultController::refreshDue(unsigned bank_idx, Tick now)
 Tick
 VaultController::service(const Packet &pkt, Tick arrival)
 {
+    Tick bank_start = 0;
+    return serviceTimed(pkt, arrival, bank_start);
+}
+
+Tick
+VaultController::service(Packet &pkt, Tick arrival)
+{
+    Tick bank_start = 0;
+    const Tick done = serviceTimed(pkt, arrival, bank_start);
+    pkt.tBankStart = bank_start;
+    return done;
+}
+
+Tick
+VaultController::serviceTimed(const Packet &pkt, Tick arrival,
+                              Tick &bank_start)
+{
     // Atomics modify in place: they occupy the bank like a write and
     // pay the controller's ALU latency on top.
     const bool is_write = pkt.cmd != Command::Read;
@@ -72,6 +89,7 @@ VaultController::service(const Packet &pkt, Tick arrival)
     Bank &bank = banks.at(pkt.bank);
     BankAccessResult res = bank.access(
         cfg.timings, cfg.policy, start, pkt.row, pkt.payload, is_write);
+    bank_start = res.start;
     if (pkt.cmd == Command::Atomic)
         res.dataReady += cfg.atomicLatency;
 

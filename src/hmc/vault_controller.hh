@@ -83,6 +83,11 @@ class VaultController
      */
     Tick service(const Packet &pkt, Tick arrival);
 
+    /** As above, but also stamps pkt.tBankStart with the time the
+     *  bank began the access (lifecycle tracing, trace/lifecycle.hh).
+     *  Non-const lvalue packets pick this overload automatically. */
+    Tick service(Packet &pkt, Tick arrival);
+
     /** Advance all banks through a refresh cycle (maintenance hook). */
     void refreshAll(Tick at);
 
@@ -118,6 +123,10 @@ class VaultController
     void reset();
 
   private:
+    /** Shared service body; reports when the bank began the access. */
+    Tick serviceTimed(const Packet &pkt, Tick arrival,
+                      Tick &bank_start);
+
     /** Catch the bank up on refreshes due by @p now. */
     void refreshDue(unsigned bank_idx, Tick now);
 

@@ -1,6 +1,7 @@
 #include "host/ac510.hh"
 
 #include "sim/logging.hh"
+#include "trace/lifecycle.hh"
 
 namespace hmcsim
 {
@@ -26,6 +27,7 @@ Ac510Module::Ac510Module(const Ac510Config &cfg) : cfg(cfg)
         // Ports distribute their packets over however many links the
         // controller was calibrated with.
         port_cfg.numLinks = cfg.controller.numLinks;
+        port_cfg.tracer = cfg.tracer;
         ports.push_back(std::make_unique<GupsPort>(
             i, port_cfg, cfg.device.structure.capacity, _queue,
             [this](Packet &&pkt) {
@@ -85,6 +87,8 @@ Ac510Module::resetPortStats()
 {
     for (auto &port : ports)
         port->resetStats();
+    if (cfg.tracer)
+        cfg.tracer->resetStats();
 }
 
 void
@@ -96,6 +100,11 @@ Ac510Module::registerStats(StatRegistry &registry,
     for (unsigned i = 0; i < ports.size(); ++i)
         ports[i]->registerStats(registry,
                                 path / ("port" + std::to_string(i)));
+    // Only an attached tracer contributes stats, so a tracing-off run
+    // registers the same set as before tracing existed and its digest
+    // is unchanged (tested in tests/test_tracing.cc).
+    if (cfg.tracer)
+        cfg.tracer->registerStats(registry, path / "trace");
 }
 
 GupsPortStats

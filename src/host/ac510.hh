@@ -55,6 +55,13 @@ struct Ac510Config
     ControllerCalibration controller;
     /** Experiment seed. */
     std::uint64_t seed = 1;
+    /**
+     * Lifecycle tracer attached to every port (trace/lifecycle.hh);
+     * null (the default) disables tracing entirely. Caller-owned,
+     * like the StatRegistry; must outlive the module and obeys the
+     * same one-thread contract.
+     */
+    PacketTracer *tracer = nullptr;
 };
 
 /** Maximum usable GUPS ports (one of ten is reserved for system). */

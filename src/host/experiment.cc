@@ -1,6 +1,7 @@
 #include "host/experiment.hh"
 
 #include <cstring>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -36,18 +37,26 @@ makeSystemConfig(const ExperimentConfig &cfg)
 }
 
 MeasurementResult
-runExperiment(const ExperimentConfig &cfg, std::uint64_t *statDigest)
+runExperiment(const ExperimentConfig &cfg, const RunOptions &opts,
+              RunArtifacts *artifacts)
 {
-    Ac510Module module(makeSystemConfig(cfg));
+    Ac510Config sys = makeSystemConfig(cfg);
+    std::optional<PacketTracer> tracer;
+    if (opts.trace.enabled) {
+        tracer.emplace(opts.trace);
+        sys.tracer = &*tracer;
+    }
+
+    Ac510Module module(sys);
     StatRegistry registry;
-    if (statDigest)
+    if (artifacts)
         module.registerStats(registry, StatPath("system"));
     module.start();
     module.runUntil(cfg.warmup);
     module.resetPortStats();
     module.runUntil(cfg.warmup + cfg.measure);
-    if (statDigest)
-        *statDigest = registry.digest();
+    if (artifacts)
+        artifacts->statDigest = registry.digest();
 
     const GupsPortStats agg = module.aggregateStats();
     const double seconds = ticksToSeconds(cfg.measure);
@@ -72,6 +81,22 @@ runExperiment(const ExperimentConfig &cfg, std::uint64_t *statDigest)
         res.readLatencyP50Ns = agg.readLatencyHistNs.quantile(0.5);
         res.readLatencyP99Ns = agg.readLatencyHistNs.quantile(0.99);
     }
+    if (tracer) {
+        res.stages = tracer->breakdown();
+        if (artifacts)
+            artifacts->stages = tracer->breakdown();
+    }
+    return res;
+}
+
+MeasurementResult
+runExperiment(const ExperimentConfig &cfg, std::uint64_t *statDigest)
+{
+    RunArtifacts artifacts;
+    MeasurementResult res = runExperiment(
+        cfg, RunOptions{}, statDigest ? &artifacts : nullptr);
+    if (statDigest)
+        *statDigest = artifacts.statDigest;
     return res;
 }
 
@@ -130,10 +155,11 @@ ThermalExperimentResult
 runThermalExperiment(const ExperimentConfig &cfg,
                      const CoolingConfig &cooling,
                      const PowerParams &power,
-                     const ThermalParams &thermal)
+                     const ThermalParams &thermal,
+                     const RunOptions &opts, RunArtifacts *artifacts)
 {
     ThermalExperimentResult res;
-    res.measurement = runExperiment(cfg);
+    res.measurement = runExperiment(cfg, opts, artifacts);
     const PowerModel model(power);
     res.powerThermal =
         model.solve(res.measurement.traffic(), cfg.mix, cooling, thermal);
@@ -141,8 +167,15 @@ runThermalExperiment(const ExperimentConfig &cfg,
 }
 
 SampleStats
-runStreamExperiment(const StreamExperimentConfig &cfg)
+runStreamExperiment(const StreamExperimentConfig &cfg,
+                    const RunOptions &opts, RunArtifacts *artifacts)
 {
+    // One tracer spans every repetition so the breakdown aggregates
+    // the whole experiment, not just the last stream.
+    std::optional<PacketTracer> tracer;
+    if (opts.trace.enabled)
+        tracer.emplace(opts.trace);
+
     SampleStats latencies;
     for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
         Ac510Config sys;
@@ -156,12 +189,16 @@ runStreamExperiment(const StreamExperimentConfig &cfg)
         sys.device = cfg.device;
         sys.controller = cfg.controller;
         sys.seed = cfg.seed + rep * 1000003ULL;
+        if (tracer)
+            sys.tracer = &*tracer;
 
         Ac510Module module(sys);
         module.start();
         module.runToCompletion();
         latencies.merge(module.aggregateStats().readLatencyNs);
     }
+    if (artifacts && tracer)
+        artifacts->stages = tracer->breakdown();
     return latencies;
 }
 

@@ -21,17 +21,32 @@
 #include "power/power_model.hh"
 #include "protocol/packet.hh"
 #include "sim/stats.hh"
+#include "trace/lifecycle.hh"
 
 namespace hmcsim
 {
 
-/** One experiment's configuration. */
-struct ExperimentConfig
+/**
+ * Fields shared by every experiment flavor (bandwidth/latency and
+ * stream-GUPS). Factoring them out keeps the two configs in sync and
+ * lets the runner's configDigest() cover both with one serializer
+ * (runner/config_digest.hh).
+ */
+struct CommonExperimentConfig
 {
     /** Where traffic may land; default is the whole device. */
     AccessPattern pattern{"16 vaults", 0, 0, 16, 256};
-    RequestMix mix = RequestMix::ReadOnly;
     Bytes requestSize = 128;
+    std::uint64_t seed = 1;
+    /** Optional overrides of the modeled hardware. */
+    HmcDeviceConfig device;
+    ControllerCalibration controller;
+};
+
+/** One bandwidth/latency experiment's configuration. */
+struct ExperimentConfig : CommonExperimentConfig
+{
+    RequestMix mix = RequestMix::ReadOnly;
     AddressingMode mode = AddressingMode::Random;
     /** Active ports: 9 = full-scale GUPS, 1..8 = small-scale. */
     unsigned numPorts = maxGupsPorts;
@@ -41,10 +56,6 @@ struct ExperimentConfig
      *  simulation reaches steady state within microseconds, so a
      *  1 ms window gives tight statistics in reasonable CPU time. */
     Tick measure = 1 * tickMs;
-    std::uint64_t seed = 1;
-    /** Optional overrides of the modeled hardware. */
-    HmcDeviceConfig device;
-    ControllerCalibration controller;
 };
 
 /** Measured outcome of one experiment (the paper's plot units). */
@@ -68,6 +79,10 @@ struct MeasurementResult
     /** Tail latency from the binned distribution (ns). */
     double readLatencyP50Ns = 0.0;
     double readLatencyP99Ns = 0.0;
+    /** Per-stage latency breakdown (trace/lifecycle.hh); populated
+     *  only when the run had tracing enabled, else stages.enabled is
+     *  false and every accumulator is empty. */
+    StageBreakdown stages;
 
     /** Traffic summary for the power/thermal models. */
     TrafficSummary traffic() const;
@@ -76,16 +91,50 @@ struct MeasurementResult
 /** Build the Ac510 system description an experiment runs on. */
 Ac510Config makeSystemConfig(const ExperimentConfig &cfg);
 
+/** Options applied to one runExperiment/runStreamExperiment call. */
+struct RunOptions
+{
+    /** Lifecycle tracing (off by default: the zero-cost path). */
+    TraceConfig trace;
+};
+
+/**
+ * Secondary outputs of a run, produced when the caller passes a
+ * non-null artifacts pointer.
+ */
+struct RunArtifacts
+{
+    /**
+     * Bit-exact StatRegistry::digest() of the run's full counter
+     * state -- the fingerprint the sweep runner uses to prove that a
+     * parallel run reproduced the serial one exactly. Computed only
+     * for runExperiment (stream experiments build one system per
+     * repetition; their digest stays 0).
+     */
+    std::uint64_t statDigest = 0;
+    /** Per-stage breakdown; enabled only when tracing was on. */
+    StageBreakdown stages;
+};
+
 /**
  * Run a bandwidth/latency experiment.
  *
- * @param statDigest When non-null, receives the bit-exact
- *        StatRegistry::digest() of the run's full counter state --
- *        the fingerprint the sweep runner uses to prove that a
- *        parallel run reproduced the serial one exactly.
+ * @param opts Per-run options (tracing).
+ * @param artifacts When non-null, receives the stat digest and, with
+ *        tracing enabled, the per-stage breakdown.
  */
 MeasurementResult runExperiment(const ExperimentConfig &cfg,
-                                std::uint64_t *statDigest = nullptr);
+                                const RunOptions &opts = {},
+                                RunArtifacts *artifacts = nullptr);
+
+/**
+ * Deprecated compatibility shim (pre-RunOptions API): equivalent to
+ * calling the overload above and copying artifacts.statDigest into
+ * @p statDigest. Prefer the RunOptions/RunArtifacts overload; this
+ * one will be removed after one release.
+ */
+MeasurementResult runExperiment(const ExperimentConfig &cfg,
+                                std::uint64_t *statDigest);
 
 /** Outcome of a determinism self-check (two identical runs). */
 struct SelfCheckResult
@@ -125,28 +174,30 @@ struct ThermalExperimentResult
 ThermalExperimentResult runThermalExperiment(
     const ExperimentConfig &cfg, const CoolingConfig &cooling,
     const PowerParams &power = PowerParams{},
-    const ThermalParams &thermal = ThermalParams{});
+    const ThermalParams &thermal = ThermalParams{},
+    const RunOptions &opts = {}, RunArtifacts *artifacts = nullptr);
 
 /** Configuration of a stream-GUPS low-load latency experiment. */
-struct StreamExperimentConfig
+struct StreamExperimentConfig : CommonExperimentConfig
 {
     /** Read requests per stream (Fig. 15 x-axis: 2..28). */
     unsigned requestsPerStream = 2;
-    Bytes requestSize = 128;
     /** Independent repetitions aggregated into the statistics. */
     unsigned repetitions = 64;
-    AccessPattern pattern{"16 vaults", 0, 0, 16, 256};
-    std::uint64_t seed = 1;
-    HmcDeviceConfig device;
-    ControllerCalibration controller;
 };
 
 /**
  * Run a stream-GUPS experiment: issue fixed-size groups of reads from
  * one port, wait for all responses, and aggregate per-request
  * latencies (min/avg/max) over the repetitions.
+ *
+ * With tracing enabled in @p opts, one tracer spans every repetition,
+ * so artifacts->stages aggregates all requestsPerStream * repetitions
+ * lifecycles (the Fig. 15 low-load decomposition).
  */
-SampleStats runStreamExperiment(const StreamExperimentConfig &cfg);
+SampleStats runStreamExperiment(const StreamExperimentConfig &cfg,
+                                const RunOptions &opts = {},
+                                RunArtifacts *artifacts = nullptr);
 
 } // namespace hmcsim
 

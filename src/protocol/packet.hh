@@ -168,6 +168,9 @@ struct Packet
     Tick tIssued = 0;      ///< Submitted to the HMC controller.
     Tick tLinkTx = 0;      ///< Started serializing onto the link.
     Tick tVaultArrive = 0; ///< Entered the vault controller queue.
+    Tick tBankStart = 0;   ///< DRAM bank began the access (0 when the
+                           ///< cube refused the request, e.g. thermal
+                           ///< shutdown).
     Tick tDramDone = 0;    ///< DRAM access finished.
     Tick tResponse = 0;    ///< Response received by the port.
 

@@ -117,6 +117,19 @@ mixController(Fnv1a &h, const ControllerCalibration &c)
     h.u64(c.inputBufferFlits);
 }
 
+void
+mixPattern(Fnv1a &h, const AccessPattern &p)
+{
+    // The pattern name is cosmetic for simulation but flows into
+    // MeasurementResult::patternName, so it is part of the identity a
+    // cached result must reproduce.
+    h.str(p.name);
+    h.u64(p.mask);
+    h.u64(p.antiMask);
+    h.u64(p.vaultSpan);
+    h.u64(p.bankSpan);
+}
+
 } // namespace
 
 std::uint64_t
@@ -127,14 +140,7 @@ configDigest(const ExperimentConfig &cfg, bool include_seed)
     // stale on-disk cache entries can never match new digests.
     h.str("hmcsim.experiment.v1");
 
-    // The pattern name is cosmetic for simulation but flows into
-    // MeasurementResult::patternName, so it is part of the identity a
-    // cached result must reproduce.
-    h.str(cfg.pattern.name);
-    h.u64(cfg.pattern.mask);
-    h.u64(cfg.pattern.antiMask);
-    h.u64(cfg.pattern.vaultSpan);
-    h.u64(cfg.pattern.bankSpan);
+    mixPattern(h, cfg.pattern);
 
     h.u64(static_cast<std::uint64_t>(cfg.mix));
     h.u64(cfg.requestSize);
@@ -142,6 +148,26 @@ configDigest(const ExperimentConfig &cfg, bool include_seed)
     h.u64(cfg.numPorts);
     h.u64(cfg.warmup);
     h.u64(cfg.measure);
+    if (include_seed)
+        h.u64(cfg.seed);
+
+    mixDevice(h, cfg.device);
+    mixController(h, cfg.controller);
+    return h.value();
+}
+
+std::uint64_t
+configDigest(const StreamExperimentConfig &cfg, bool include_seed)
+{
+    Fnv1a h;
+    // Distinct version tag: a stream config can never collide with a
+    // bandwidth/latency config, even with identical shared fields.
+    h.str("hmcsim.stream.v1");
+
+    mixPattern(h, cfg.pattern);
+    h.u64(cfg.requestSize);
+    h.u64(cfg.requestsPerStream);
+    h.u64(cfg.repetitions);
     if (include_seed)
         h.u64(cfg.seed);
 

@@ -37,6 +37,15 @@ namespace hmcsim
 std::uint64_t configDigest(const ExperimentConfig &cfg,
                            bool include_seed = true);
 
+/**
+ * Canonical FNV-1a digest of a stream-GUPS configuration. Uses a
+ * distinct version tag, so stream and bandwidth/latency configs can
+ * never collide even when their shared CommonExperimentConfig fields
+ * are identical.
+ */
+std::uint64_t configDigest(const StreamExperimentConfig &cfg,
+                           bool include_seed = true);
+
 } // namespace hmcsim
 
 #endif // HMCSIM_RUNNER_CONFIG_DIGEST_HH

@@ -65,8 +65,14 @@ JsonLinesSink::write(const SweepPointResult &p)
         << ",\"read_lat_count\":" << m.readLatencyNs.count()
         << ",\"write_lat_avg_ns\":" << fmtDouble(m.writeLatencyNs.mean())
         << ",\"read_lat_p50_ns\":" << fmtDouble(m.readLatencyP50Ns)
-        << ",\"read_lat_p99_ns\":" << fmtDouble(m.readLatencyP99Ns)
-        << ",\"stat_digest\":\"" << fmtHex64(p.statDigest) << "\"";
+        << ",\"read_lat_p99_ns\":" << fmtDouble(m.readLatencyP99Ns);
+    // Per-stage breakdown columns: all zero unless the sweep traced.
+    for (unsigned i = 0; i < numLifecycleStages; ++i) {
+        out << ",\"stage_"
+            << lifecycleStageName(static_cast<LifecycleStage>(i))
+            << "_avg_ns\":" << fmtDouble(m.stages.stageNs[i].mean());
+    }
+    out << ",\"stat_digest\":\"" << fmtHex64(p.statDigest) << "\"";
     if (includeTiming) {
         out << ",\"wall_ms\":" << fmtDouble(p.wallMs)
             << ",\"from_cache\":" << (p.fromCache ? "true" : "false");
@@ -88,7 +94,12 @@ CsvSink::write(const SweepPointResult &p)
                "read_mrps,write_mrps,read_payload_gbps,"
                "write_payload_gbps,read_lat_avg_ns,read_lat_min_ns,"
                "read_lat_max_ns,read_lat_count,write_lat_avg_ns,"
-               "read_lat_p50_ns,read_lat_p99_ns,stat_digest";
+               "read_lat_p50_ns,read_lat_p99_ns";
+        for (unsigned i = 0; i < numLifecycleStages; ++i)
+            out << ",stage_"
+                << lifecycleStageName(static_cast<LifecycleStage>(i))
+                << "_avg_ns";
+        out << ",stat_digest";
         if (includeTiming)
             out << ",wall_ms,from_cache";
         out << '\n';
@@ -110,8 +121,10 @@ CsvSink::write(const SweepPointResult &p)
         << m.readLatencyNs.count() << ','
         << fmtDouble(m.writeLatencyNs.mean()) << ','
         << fmtDouble(m.readLatencyP50Ns) << ','
-        << fmtDouble(m.readLatencyP99Ns) << ','
-        << fmtHex64(p.statDigest);
+        << fmtDouble(m.readLatencyP99Ns);
+    for (unsigned i = 0; i < numLifecycleStages; ++i)
+        out << ',' << fmtDouble(m.stages.stageNs[i].mean());
+    out << ',' << fmtHex64(p.statDigest);
     if (includeTiming)
         out << ',' << fmtDouble(p.wallMs) << ','
             << (p.fromCache ? 1 : 0);

@@ -41,6 +41,10 @@ struct SweepPointResult
     bool fromCache = false;
     /** Host wall-clock cost of this point (0 on a cache hit). */
     double wallMs = 0.0;
+    /** Comma-prefixed Chrome trace-event fragments of this point's
+     *  sampled lifecycles (empty unless the sweep traced); join in
+     *  canonical order and wrap with writeChromeTrace(). */
+    std::string traceJson;
 };
 
 /** Destination for sweep results. */

@@ -77,7 +77,11 @@ SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg) const
     point.config = cfg;
     point.digest = configDigest(cfg);
 
-    if (opts.cache) {
+    // A traced point is always simulated: the cache stores neither
+    // breakdowns nor event streams, so serving a hit would silently
+    // drop them.
+    const bool tracing = opts.trace.enabled;
+    if (opts.cache && !tracing) {
         if (const auto cached = opts.cache->lookup(point.digest)) {
             point.result = cached->result;
             point.statDigest = cached->statDigest;
@@ -86,16 +90,36 @@ SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg) const
         }
     }
 
+    ChromeTraceBuffer buffer;
+    RunOptions run_opts;
+    if (tracing) {
+        run_opts.trace = opts.trace;
+        run_opts.trace.sink = &buffer;
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    point.result = runExperiment(cfg, &point.statDigest);
+    RunArtifacts artifacts;
+    point.result = runExperiment(cfg, run_opts, &artifacts);
+    point.statDigest = artifacts.statDigest;
     const auto stop = std::chrono::steady_clock::now();
     point.wallMs =
         std::chrono::duration<double, std::milli>(stop - start).count();
+    if (tracing)
+        point.traceJson = buffer.takeEvents();
 
-    if (opts.cache)
+    if (opts.cache && !tracing)
         opts.cache->store(point.digest,
                           {point.result, point.statDigest});
     return point;
+}
+
+std::string
+joinTraceEvents(const std::vector<SweepPointResult> &results)
+{
+    std::string out;
+    for (const SweepPointResult &point : results)
+        out += point.traceJson;
+    return out;
 }
 
 std::vector<SweepPointResult>

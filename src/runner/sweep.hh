@@ -87,7 +87,26 @@ struct SweepOptions
     ResultCache *cache = nullptr;
     /** Sinks written in canonical order after the sweep completes. */
     std::vector<ResultSink *> sinks;
+    /**
+     * Lifecycle tracing applied to every point. Set trace.enabled
+     * (and optionally samplePeriod); the runner gives each point a
+     * private ChromeTraceBuffer and stores the sampled events in
+     * SweepPointResult::traceJson, so the trace.sink field is ignored
+     * here. Concatenating the per-point fragments in canonical order
+     * (joinTraceEvents) is jobs-invariant like every other output.
+     * Tracing bypasses the result cache: a traced point is always
+     * simulated and never stored.
+     */
+    TraceConfig trace;
 };
+
+/**
+ * Concatenate every point's trace-event fragments in canonical point
+ * order; wrap the result with writeChromeTrace() to get one valid
+ * Chrome/Perfetto JSON document for the whole sweep.
+ */
+std::string
+joinTraceEvents(const std::vector<SweepPointResult> &results);
 
 class SweepRunner
 {

@@ -1,0 +1,167 @@
+#include "trace/lifecycle.hh"
+
+#include "sim/check.hh"
+#include "sim/random.hh"
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** Histogram binning shared by every stage: 100 ns bins to 100 us.
+ *  Round trips in the modeled system sit well inside this range
+ *  (Fig. 15: ~0.6-1.5 us); overflow saturates, so a pathological
+ *  configuration still digests deterministically. */
+constexpr double histLoNs = 0.0;
+constexpr double histHiNs = 100000.0;
+constexpr std::size_t histBins = 1000;
+
+} // namespace
+
+const char *
+lifecycleStageName(LifecycleStage stage)
+{
+    switch (stage) {
+      case LifecycleStage::CtrlTx:
+        return "ctrl_tx";
+      case LifecycleStage::Link:
+        return "link";
+      case LifecycleStage::VaultQueue:
+        return "vault_queue";
+      case LifecycleStage::Bank:
+        return "bank";
+      case LifecycleStage::Response:
+        return "response";
+    }
+    return "?";
+}
+
+std::array<StageSpan, numLifecycleStages>
+lifecycleSpans(const Packet &pkt)
+{
+    // A thermally refused packet is bounced before the bank: charge
+    // the whole in-cube path to VaultQueue and give Bank zero length
+    // so the spans still telescope.
+    const Tick bank_start = pkt.tBankStart ? pkt.tBankStart
+                                           : pkt.tDramDone;
+    return {
+        StageSpan{pkt.tIssued, pkt.tLinkTx},
+        StageSpan{pkt.tLinkTx, pkt.tVaultArrive},
+        StageSpan{pkt.tVaultArrive, bank_start},
+        StageSpan{bank_start, pkt.tDramDone},
+        StageSpan{pkt.tDramDone, pkt.tResponse},
+    };
+}
+
+double
+StageBreakdown::stageMeanSumNs() const
+{
+    double sum = 0.0;
+    for (const SampleStats &s : stageNs)
+        sum += s.mean();
+    return sum;
+}
+
+PacketTracer::PacketTracer(const TraceConfig &cfg)
+    : cfg(cfg),
+      hist{Histogram(histLoNs, histHiNs, histBins),
+           Histogram(histLoNs, histHiNs, histBins),
+           Histogram(histLoNs, histHiNs, histBins),
+           Histogram(histLoNs, histHiNs, histBins),
+           Histogram(histLoNs, histHiNs, histBins)}
+{
+    agg.enabled = true;
+}
+
+bool
+PacketTracer::sampled(std::uint64_t id, std::uint64_t period)
+{
+    if (period == 0)
+        return false;
+    if (period == 1)
+        return true;
+    // Hash the id: port-sharded ids (port << 48 | seq) would alias a
+    // power-of-two period onto one port if taken modulo directly.
+    std::uint64_t state = id;
+    return splitMix64(state) % period == 0;
+}
+
+void
+PacketTracer::record(const Packet &pkt)
+{
+    HMCSIM_DCHECK(pkt.tResponse >= pkt.tIssued,
+                  "tracer fed an incomplete packet");
+    const auto spans = lifecycleSpans(pkt);
+    for (unsigned i = 0; i < numLifecycleStages; ++i) {
+        const double ns = ticksToNs(spans[i].duration());
+        agg.stageNs[i].sample(ns);
+        hist[i].sample(ns);
+    }
+    agg.endToEndNs.sample(ticksToNs(pkt.tResponse - pkt.tIssued));
+    ++numRecorded;
+    if (cfg.sink && sampled(pkt.id, cfg.samplePeriod))
+        cfg.sink->packet(pkt);
+}
+
+void
+PacketTracer::resetStats()
+{
+    for (SampleStats &s : agg.stageNs)
+        s.reset();
+    agg.endToEndNs.reset();
+    for (Histogram &h : hist)
+        h.reset();
+    numRecorded = 0;
+    if (cfg.sink)
+        cfg.sink->reset();
+}
+
+const Histogram &
+PacketTracer::stageHistogram(LifecycleStage s) const
+{
+    return hist[static_cast<unsigned>(s)];
+}
+
+void
+PacketTracer::registerStats(StatRegistry &registry,
+                            const StatPath &path) const
+{
+    registry.add((path / "recorded").str(),
+                 "completed packet lifecycles recorded",
+                 [this] { return static_cast<double>(numRecorded); });
+    registry.add((path / "end_to_end" / "avg_ns").str(),
+                 "mean end-to-end round trip of recorded packets",
+                 [this] { return agg.endToEndNs.mean(); });
+    registry.add((path / "end_to_end" / "max_ns").str(),
+                 "max end-to-end round trip of recorded packets",
+                 [this] { return agg.endToEndNs.max(); });
+    for (unsigned i = 0; i < numLifecycleStages; ++i) {
+        const auto stage = static_cast<LifecycleStage>(i);
+        const StatPath sp = path / lifecycleStageName(stage);
+        const SampleStats *stats = &agg.stageNs[i];
+        const Histogram *h = &hist[i];
+        registry.add((sp / "count").str(),
+                     "samples recorded for this stage",
+                     [stats] {
+                         return static_cast<double>(stats->count());
+                     });
+        registry.add((sp / "sum_ns").str(),
+                     "total time spent in this stage",
+                     [stats] { return stats->sum(); });
+        registry.add((sp / "avg_ns").str(),
+                     "mean per-packet time in this stage",
+                     [stats] { return stats->mean(); });
+        registry.add((sp / "max_ns").str(),
+                     "max per-packet time in this stage",
+                     [stats] { return stats->max(); });
+        registry.add((sp / "p50_ns").str(),
+                     "median per-packet time in this stage",
+                     [h] { return h->quantile(0.50); });
+        registry.add((sp / "p99_ns").str(),
+                     "99th-percentile per-packet time in this stage",
+                     [h] { return h->quantile(0.99); });
+    }
+}
+
+} // namespace hmcsim

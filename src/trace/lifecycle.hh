@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Packet-lifecycle stage decomposition (Figs. 14-15, Sec. IV-E).
+ *
+ * The paper's core analytical move is splitting an end-to-end HMC
+ * round trip into its structural stages: FPGA controller TX pipeline,
+ * SerDes/link traversal, vault queueing, closed-page DRAM bank access,
+ * and the response path. The simulator stamps every packet with
+ * per-stage ticks as it moves through the model (protocol/packet.hh
+ * timestamp fields); this header turns those stamps into named stage
+ * spans, aggregates them (sample statistics + latency histograms) and
+ * exposes the aggregate through the StatRegistry so the breakdown is
+ * covered by the determinism digest.
+ *
+ * The stages telescope: consecutive spans share their boundary stamp,
+ * so the per-stage durations sum to the end-to-end round trip
+ * *exactly* (tested in tests/test_tracing.cc). That property is what
+ * makes the breakdown trustworthy as an explanation of where latency
+ * comes from rather than a second, independent estimate.
+ */
+
+#ifndef HMCSIM_TRACE_LIFECYCLE_HH
+#define HMCSIM_TRACE_LIFECYCLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "protocol/packet.hh"
+#include "sim/stat_registry.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "trace/trace_sink.hh"
+
+namespace hmcsim
+{
+
+/** The five structural stages of one transaction's lifecycle. */
+enum class LifecycleStage : unsigned
+{
+    /** Port submit -> first bit on the TX wire: the fixed FPGA TX
+     *  pipeline (Fig. 14 stages 2-8) plus any flow-control stall. */
+    CtrlTx = 0,
+    /** TX wire serialization + propagation until the last request
+     *  flit arrives at the cube. */
+    Link,
+    /** Cube ingress -> DRAM bank command start: quadrant routing,
+     *  vault controller pipeline, and waiting for a busy bank. */
+    VaultQueue,
+    /** DRAM array access plus the TSV data-bus transfer. */
+    Bank,
+    /** Response crossbar + RX wire + FPGA RX pipeline until the
+     *  response is delivered back to the issuing port. */
+    Response,
+};
+
+/** Number of lifecycle stages (size of per-stage arrays). */
+constexpr unsigned numLifecycleStages = 5;
+
+/** Short machine-readable stage name ("ctrl_tx", "link", ...). */
+const char *lifecycleStageName(LifecycleStage stage);
+
+/** One stage's [begin, end) span in ticks. */
+struct StageSpan
+{
+    Tick begin = 0;
+    Tick end = 0;
+
+    Tick duration() const { return end - begin; }
+};
+
+/**
+ * Decompose a *completed* packet (tResponse stamped) into its five
+ * stage spans. Consecutive spans share boundaries, so the durations
+ * telescope to tResponse - tIssued exactly. A packet refused by a
+ * cube in thermal shutdown never reaches a bank; its Bank span
+ * collapses to zero length and the refusal path is charged to
+ * VaultQueue.
+ */
+std::array<StageSpan, numLifecycleStages>
+lifecycleSpans(const Packet &pkt);
+
+/**
+ * Aggregated per-stage latency statistics in nanoseconds, as exported
+ * in MeasurementResult. Empty (all counts zero, enabled false) when
+ * tracing was off for the producing run.
+ */
+struct StageBreakdown
+{
+    /** One accumulator per LifecycleStage, indexed by the enum. */
+    std::array<SampleStats, numLifecycleStages> stageNs;
+    /** End-to-end round trips of the same packets. */
+    SampleStats endToEndNs;
+    /** True when a tracer produced this breakdown. */
+    bool enabled = false;
+
+    const SampleStats &
+    stage(LifecycleStage s) const
+    {
+        return stageNs[static_cast<unsigned>(s)];
+    }
+
+    /** Sum of the stage means; equals endToEndNs.mean() when every
+     *  recorded packet contributed to every stage (telescoping). */
+    double stageMeanSumNs() const;
+};
+
+/** Tracing knobs for one run. */
+struct TraceConfig
+{
+    /** Master switch. Off = the null fast path: no tracer object is
+     *  attached to the system and the per-response cost is one
+     *  untaken branch (bench_trace_overhead guards this). */
+    bool enabled = false;
+    /**
+     * Emit every sampled packet's lifecycle to @p sink. Sampling is
+     * deterministic -- keyed off a hash of the packet id, never off
+     * wall clock or completion order -- so two runs of the same
+     * configuration stream identical events. 1 = every packet,
+     * N = roughly one in N, 0 = aggregate only (no event stream).
+     */
+    std::uint64_t samplePeriod = 1;
+    /** Event-stream destination; may be null (aggregate only). Not
+     *  owned; must outlive the tracer. */
+    PacketTraceSink *sink = nullptr;
+};
+
+/**
+ * The lifecycle tracer: one per simulated system (same threading
+ * contract as Ac510Module -- single-thread, not shared). Attached via
+ * Ac510Config::tracer; every port reports each completed packet to
+ * record().
+ */
+class PacketTracer
+{
+  public:
+    explicit PacketTracer(const TraceConfig &cfg);
+
+    /** Record a completed packet: aggregate its stage spans and, when
+     *  it is sampled, forward it to the event sink. */
+    void record(const Packet &pkt);
+
+    /** Clear aggregates and the sink (end of warm-up). */
+    void resetStats();
+
+    /** Aggregated breakdown of everything recorded since the last
+     *  resetStats(). */
+    const StageBreakdown &breakdown() const { return agg; }
+
+    /** Per-stage latency distribution (100 ns bins up to 100 us). */
+    const Histogram &stageHistogram(LifecycleStage s) const;
+
+    /** Lifecycles recorded since the last resetStats(). */
+    std::uint64_t recorded() const { return numRecorded; }
+
+    /**
+     * Register the breakdown under @p path: per-stage count / sum /
+     * avg / max plus histogram p50/p99. Flows into
+     * StatRegistry::digest(), so an enabled tracer is covered by the
+     * determinism self-check. The tracer must outlive the registry.
+     */
+    void registerStats(StatRegistry &registry, const StatPath &path) const;
+
+    /** Deterministic sampling predicate: true when the packet with
+     *  @p id is emitted at 1-in-@p period sampling. */
+    static bool sampled(std::uint64_t id, std::uint64_t period);
+
+  private:
+    TraceConfig cfg;
+    StageBreakdown agg;
+    std::array<Histogram, numLifecycleStages> hist;
+    std::uint64_t numRecorded = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_TRACE_LIFECYCLE_HH

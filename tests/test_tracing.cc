@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for the packet-lifecycle tracing subsystem (src/trace/) and
+ * the RunOptions/RunArtifacts experiment API around it:
+ *
+ *  - the telescoping invariant (stage durations sum exactly to the
+ *    end-to-end round trip), including the thermal-refusal fallback;
+ *  - deterministic id-keyed sampling;
+ *  - the Chrome trace-event stream shape and jobs-invariance of a
+ *    traced sweep (jobs 1 vs jobs 8 byte-identical);
+ *  - the zero-cost contract: with tracing disabled the stat-registry
+ *    digest is bit-identical to the legacy (pre-RunOptions) API, and
+ *    the low-load stream breakdown reconstructs the measured
+ *    end-to-end latency within 1 %.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gups/patterns.hh"
+#include "host/experiment.hh"
+#include "runner/sweep.hh"
+#include "trace/lifecycle.hh"
+#include "trace/trace_sink.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+// ---------------------------------------------------------------------
+// lifecycleSpans: the telescoping decomposition
+// ---------------------------------------------------------------------
+
+Packet
+stampedPacket()
+{
+    Packet pkt;
+    pkt.id = 42;
+    pkt.cmd = Command::Read;
+    pkt.payload = 128;
+    pkt.tIssued = 1000;
+    pkt.tLinkTx = 3000;
+    pkt.tVaultArrive = 9000;
+    pkt.tBankStart = 12000;
+    pkt.tDramDone = 40000;
+    pkt.tResponse = 52000;
+    return pkt;
+}
+
+TEST(LifecycleSpans, StagesTelescopeToEndToEnd)
+{
+    const Packet pkt = stampedPacket();
+    const auto spans = lifecycleSpans(pkt);
+
+    // Consecutive spans share their boundary stamp...
+    ASSERT_EQ(spans.size(), numLifecycleStages);
+    EXPECT_EQ(spans.front().begin, pkt.tIssued);
+    for (unsigned i = 1; i < numLifecycleStages; ++i)
+        EXPECT_EQ(spans[i].begin, spans[i - 1].end);
+    EXPECT_EQ(spans.back().end, pkt.tResponse);
+
+    // ...so the durations sum to the round trip exactly, in ticks.
+    Tick sum = 0;
+    for (const StageSpan &span : spans)
+        sum += span.duration();
+    EXPECT_EQ(sum, pkt.tResponse - pkt.tIssued);
+}
+
+TEST(LifecycleSpans, StageBoundariesMatchTimestamps)
+{
+    const Packet pkt = stampedPacket();
+    const auto spans = lifecycleSpans(pkt);
+
+    const auto at = [&spans](LifecycleStage s) {
+        return spans[static_cast<unsigned>(s)];
+    };
+    EXPECT_EQ(at(LifecycleStage::CtrlTx).begin, pkt.tIssued);
+    EXPECT_EQ(at(LifecycleStage::CtrlTx).end, pkt.tLinkTx);
+    EXPECT_EQ(at(LifecycleStage::Link).end, pkt.tVaultArrive);
+    EXPECT_EQ(at(LifecycleStage::VaultQueue).end, pkt.tBankStart);
+    EXPECT_EQ(at(LifecycleStage::Bank).end, pkt.tDramDone);
+    EXPECT_EQ(at(LifecycleStage::Response).end, pkt.tResponse);
+}
+
+TEST(LifecycleSpans, ThermalRefusalCollapsesBankStage)
+{
+    // A cube in thermal shutdown answers without touching a bank:
+    // tBankStart stays 0. The Bank span must collapse to zero length
+    // (charged to VaultQueue) and the telescoping must survive.
+    Packet pkt = stampedPacket();
+    pkt.thermalFailure = true;
+    pkt.tBankStart = 0;
+
+    const auto spans = lifecycleSpans(pkt);
+    EXPECT_EQ(spans[static_cast<unsigned>(LifecycleStage::Bank)]
+                  .duration(),
+              0u);
+    Tick sum = 0;
+    for (const StageSpan &span : spans)
+        sum += span.duration();
+    EXPECT_EQ(sum, pkt.tResponse - pkt.tIssued);
+}
+
+TEST(LifecycleSpans, StageNamesAreStable)
+{
+    // The names are part of the stat/JSON surface; renaming them
+    // breaks downstream tooling and the determinism digest.
+    EXPECT_STREQ(lifecycleStageName(LifecycleStage::CtrlTx), "ctrl_tx");
+    EXPECT_STREQ(lifecycleStageName(LifecycleStage::Link), "link");
+    EXPECT_STREQ(lifecycleStageName(LifecycleStage::VaultQueue),
+                 "vault_queue");
+    EXPECT_STREQ(lifecycleStageName(LifecycleStage::Bank), "bank");
+    EXPECT_STREQ(lifecycleStageName(LifecycleStage::Response),
+                 "response");
+}
+
+// ---------------------------------------------------------------------
+// PacketTracer: aggregation and sampling
+// ---------------------------------------------------------------------
+
+TEST(PacketTracer, AggregatesStageAndEndToEndStats)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    PacketTracer tracer(cfg);
+
+    const Packet pkt = stampedPacket();
+    tracer.record(pkt);
+    tracer.record(pkt);
+
+    const StageBreakdown &b = tracer.breakdown();
+    EXPECT_TRUE(b.enabled);
+    EXPECT_EQ(tracer.recorded(), 2u);
+    EXPECT_EQ(b.endToEndNs.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.endToEndNs.mean(),
+                     ticksToNs(pkt.tResponse - pkt.tIssued));
+    EXPECT_DOUBLE_EQ(b.stage(LifecycleStage::Bank).mean(),
+                     ticksToNs(pkt.tDramDone - pkt.tBankStart));
+    // Telescoping carries over to the aggregate means.
+    EXPECT_NEAR(b.stageMeanSumNs(), b.endToEndNs.mean(), 1e-9);
+
+    tracer.resetStats();
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_EQ(tracer.breakdown().endToEndNs.count(), 0u);
+}
+
+TEST(PacketTracer, SamplingIsDeterministicAndIdKeyed)
+{
+    // Pure function of (id, period): same inputs, same verdict.
+    for (std::uint64_t id = 0; id < 256; ++id) {
+        EXPECT_EQ(PacketTracer::sampled(id, 4),
+                  PacketTracer::sampled(id, 4));
+        EXPECT_TRUE(PacketTracer::sampled(id, 1));
+        EXPECT_FALSE(PacketTracer::sampled(id, 0));
+    }
+
+    // 1-in-N sampling hits roughly 1/N of a dense id range; the hash
+    // decorrelates it from id arithmetic, so just bound the rate.
+    unsigned hits = 0;
+    for (std::uint64_t id = 0; id < 4096; ++id)
+        hits += PacketTracer::sampled(id, 8) ? 1 : 0;
+    EXPECT_GT(hits, 4096u / 8 / 2);
+    EXPECT_LT(hits, 4096u / 8 * 2);
+}
+
+TEST(PacketTracer, SinkReceivesOnlySampledPackets)
+{
+    class CountingSink final : public PacketTraceSink
+    {
+      public:
+        void packet(const Packet &) override { ++num; }
+        unsigned num = 0;
+    };
+
+    CountingSink sink;
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.samplePeriod = 4;
+    cfg.sink = &sink;
+    PacketTracer tracer(cfg);
+
+    unsigned expected = 0;
+    for (std::uint64_t id = 0; id < 512; ++id) {
+        Packet pkt = stampedPacket();
+        pkt.id = id;
+        tracer.record(pkt);
+        expected += PacketTracer::sampled(id, 4) ? 1 : 0;
+    }
+    // Aggregates cover every packet; the sink only the sampled ones.
+    EXPECT_EQ(tracer.recorded(), 512u);
+    EXPECT_EQ(sink.num, expected);
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceBuffer: the event-stream shape
+// ---------------------------------------------------------------------
+
+TEST(ChromeTrace, BufferEmitsOneEventPerStage)
+{
+    ChromeTraceBuffer buffer;
+    buffer.packet(stampedPacket());
+
+    const std::string &events = buffer.events();
+    // One complete ("ph":"X") event per stage, comma-prefixed so the
+    // fragments concatenate directly into a JSON array body.
+    EXPECT_EQ(events.rfind(",\n{", 0), 0u);
+    std::size_t count = 0;
+    for (std::size_t pos = events.find("\"ph\":\"X\"");
+         pos != std::string::npos;
+         pos = events.find("\"ph\":\"X\"", pos + 1))
+        ++count;
+    EXPECT_EQ(count, numLifecycleStages);
+    for (unsigned i = 0; i < numLifecycleStages; ++i) {
+        const std::string name = std::string("\"name\":\"") +
+            lifecycleStageName(static_cast<LifecycleStage>(i)) + "\"";
+        EXPECT_NE(events.find(name), std::string::npos) << name;
+    }
+
+    buffer.reset();
+    EXPECT_TRUE(buffer.events().empty());
+}
+
+TEST(ChromeTrace, WriterWrapsEventsIntoOneDocument)
+{
+    ChromeTraceBuffer buffer;
+    buffer.packet(stampedPacket());
+
+    std::ostringstream out;
+    writeChromeTrace(out, buffer.events());
+    const std::string doc = out.str();
+    EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+
+    // An empty stream must still be a valid document.
+    std::ostringstream empty;
+    writeChromeTrace(empty, "");
+    EXPECT_NE(empty.str().find("\"traceEvents\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Experiment integration: reconstruction, digests, jobs-invariance
+// ---------------------------------------------------------------------
+
+ExperimentConfig
+shortConfig()
+{
+    ExperimentConfig cfg;
+    const AddressMapper mapper(cfg.device.structure, cfg.device.maxBlock,
+                               256, cfg.device.mapping);
+    cfg.pattern = vaultPattern(mapper, 16);
+    cfg.warmup = 2 * tickUs;
+    cfg.measure = 20 * tickUs;
+    return cfg;
+}
+
+TEST(TracedExperiment, BreakdownReconstructsEndToEndLatency)
+{
+    RunOptions opts;
+    opts.trace.enabled = true;
+    opts.trace.samplePeriod = 0; // aggregate only
+    RunArtifacts artifacts;
+    const MeasurementResult res =
+        runExperiment(shortConfig(), opts, &artifacts);
+
+    ASSERT_TRUE(res.stages.enabled);
+    ASSERT_GT(res.stages.endToEndNs.count(), 0u);
+    // The stage means telescope to the traced end-to-end mean...
+    EXPECT_NEAR(res.stages.stageMeanSumNs(),
+                res.stages.endToEndNs.mean(),
+                1e-6 * res.stages.endToEndNs.mean());
+    // ...and the traced population is the measured one: its mean must
+    // match the port-measured read latency (same packets, ro mix).
+    EXPECT_NEAR(res.stages.endToEndNs.mean(), res.readLatencyNs.mean(),
+                0.01 * res.readLatencyNs.mean());
+    // Artifacts carry the same aggregate.
+    EXPECT_EQ(artifacts.stages.endToEndNs.count(),
+              res.stages.endToEndNs.count());
+}
+
+TEST(TracedExperiment, LowLoadStreamBreakdownWithinOnePercent)
+{
+    // The acceptance gate: a single in-flight read decomposes into
+    // stages whose sum reconstructs the end-to-end latency within 1 %
+    // (here it is exact by construction; the gate allows rounding).
+    StreamExperimentConfig cfg;
+    const AddressMapper mapper(cfg.device.structure, cfg.device.maxBlock,
+                               256, cfg.device.mapping);
+    cfg.pattern = vaultPattern(mapper, 16);
+    cfg.requestsPerStream = 1;
+    cfg.repetitions = 32;
+
+    RunOptions opts;
+    opts.trace.enabled = true;
+    opts.trace.samplePeriod = 0;
+    RunArtifacts artifacts;
+    const SampleStats latency =
+        runStreamExperiment(cfg, opts, &artifacts);
+
+    ASSERT_TRUE(artifacts.stages.enabled);
+    EXPECT_EQ(artifacts.stages.endToEndNs.count(), latency.count());
+    EXPECT_NEAR(artifacts.stages.stageMeanSumNs(), latency.mean(),
+                0.01 * latency.mean());
+    // At one in-flight request nothing queues: the vault-queue stage
+    // must be a small fraction of the round trip.
+    EXPECT_LT(artifacts.stages.stage(LifecycleStage::VaultQueue).mean(),
+              0.2 * latency.mean());
+}
+
+TEST(TracedExperiment, DisabledTracingDigestMatchesLegacyApi)
+{
+    // The zero-cost contract, digest half: with tracing off the new
+    // RunOptions API must register the exact same stats as the
+    // pre-tracing API, so the determinism digest is unchanged.
+    const ExperimentConfig cfg = shortConfig();
+
+    std::uint64_t legacy = 0;
+    runExperiment(cfg, &legacy); // deprecated overload
+
+    RunArtifacts artifacts;
+    runExperiment(cfg, RunOptions{}, &artifacts);
+
+    ASSERT_NE(legacy, 0u);
+    EXPECT_EQ(legacy, artifacts.statDigest);
+}
+
+TEST(TracedExperiment, EnabledTracingIsDeterministic)
+{
+    // Tracer stats join the registry, so the digest changes -- but it
+    // must change to the same value every run.
+    const ExperimentConfig cfg = shortConfig();
+    RunOptions opts;
+    opts.trace.enabled = true;
+
+    RunArtifacts a, b;
+    runExperiment(cfg, opts, &a);
+    runExperiment(cfg, opts, &b);
+    EXPECT_EQ(a.statDigest, b.statDigest);
+
+    std::uint64_t untraced = 0;
+    runExperiment(cfg, &untraced);
+    EXPECT_NE(a.statDigest, untraced);
+}
+
+TEST(TracedSweep, JobsOneAndEightProduceIdenticalTraces)
+{
+    SweepAxes axes;
+    axes.base = shortConfig();
+    axes.base.measure = 10 * tickUs;
+    const AddressMapper mapper(axes.base.device.structure,
+                               axes.base.device.maxBlock, 256,
+                               axes.base.device.mapping);
+    axes.patterns = {vaultPattern(mapper, 16), vaultPattern(mapper, 4)};
+    axes.sizes = {128, 32};
+
+    const auto runWith = [&axes](unsigned jobs) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.trace.enabled = true;
+        opts.trace.samplePeriod = 8;
+        SweepRunner runner(opts);
+        return runner.run(axes);
+    };
+
+    const auto serial = runWith(1);
+    const auto parallel = runWith(8);
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(serial.size(), parallel.size());
+
+    const std::string joinedSerial = joinTraceEvents(serial);
+    EXPECT_FALSE(joinedSerial.empty());
+    EXPECT_EQ(joinedSerial, joinTraceEvents(parallel));
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].traceJson, parallel[i].traceJson);
+        EXPECT_EQ(serial[i].statDigest, parallel[i].statDigest);
+        EXPECT_FALSE(serial[i].fromCache);
+    }
+}
+
+} // namespace
