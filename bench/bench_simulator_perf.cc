@@ -3,41 +3,356 @@
  * Simulator performance: how fast the discrete-event core and the
  * full platform run on the host machine. Not a paper artifact --
  * this is the bench a simulator project ships so users can budget
- * their sweeps.
+ * their sweeps, and since the calendar-queue rewrite
+ * (docs/performance.md) it doubles as the perf-regression harness:
+ *
+ *  - an in-binary A/B microbench pits the retired binary-heap +
+ *    std::function core (replicated below as LegacyHeapQueue) against
+ *    the shipping calendar EventQueue on the same workloads;
+ *  - the fig06-style reference workload (full-scale 9-port ro GUPS)
+ *    reports wall-clock events/sec and ns/event for the whole
+ *    platform;
+ *  - results are written to BENCH_simcore.json (override the path
+ *    with HMCSIM_PERF_JSON);
+ *  - with HMCSIM_PERF_GUARD=1 in the environment (the CI perf-smoke
+ *    job) the process fails unless the calendar core clears the
+ *    1.5x speedup budget on the steady-state A/B.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.hh"
 #include "host/experiment.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
 
 namespace
 {
 
 using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+// ---------------------------------------------------------------------
+// The retired event core, replicated for the A/B: a binary heap of
+// (tick, seq, std::function). Captures beyond the std::function
+// small-object buffer (16 bytes on libstdc++) heap-allocate per
+// scheduled event, exactly as the simulator did before the rewrite.
+// ---------------------------------------------------------------------
+
+class LegacyHeapQueue
+{
+  public:
+    Tick now() const { return _now; }
+    std::uint64_t executed() const { return numExecuted; }
+
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        heap.push(Entry{when, nextSeq++, std::move(fn)});
+    }
+
+    void
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        schedule(_now + delta, std::move(fn));
+    }
+
+    void
+    runToCompletion()
+    {
+        while (!heap.empty()) {
+            // The const_cast move the old implementation relied on
+            // (and the rewrite removed from src/).
+            Entry entry = std::move(const_cast<Entry &>(heap.top()));
+            heap.pop();
+            _now = entry.when;
+            ++numExecuted;
+            entry.fn();
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct FiresLater
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, FiresLater> heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+template <typename Fn>
+double
+minWallMs(unsigned reps, Fn &&run)
+{
+    double best = 0.0;
+    for (unsigned i = 0; i < reps; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        run();
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        if (i == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** Events in the pending-heavy drain workload. */
+constexpr std::uint64_t drainEvents = 1000000;
+/** Events in the steady-state chain workload. */
+constexpr std::uint64_t chainEvents = 2000000;
+/** Interleaved self-scheduling chains (ports x pipeline stages). */
+constexpr unsigned chainCount = 64;
+
+/**
+ * Pending-heavy drain: preload @p n events at scattered ticks, then
+ * pop them all. Exercises pure scheduling-structure cost (the old
+ * core pays O(log n) per op at n-deep heaps).
+ */
+template <typename Queue>
+std::uint64_t
+pendingDrain(Queue &q, std::uint64_t n)
+{
+    Xoshiro256StarStar rng(7);
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // Spread across ~100 us so wheel, laps, and overflow all play.
+        q.schedule(rng.nextBounded(100 * tickUs), [&fired] { ++fired; });
+    }
+    q.runToCompletion();
+    return fired;
+}
+
+/**
+ * Steady-state chains: every fired event schedules the next, with a
+ * capture set sized like the production schedulers' (a component
+ * pointer, a pooled-packet-style pointer, a scalar) -- beyond the
+ * std::function small-object buffer, inside the Event inline budget.
+ */
+template <typename Queue>
+std::uint64_t
+steadyChains(Queue &q, std::uint64_t total)
+{
+    std::uint64_t remaining = total;
+    struct Chain
+    {
+        Queue *q;
+        std::uint64_t *remaining;
+        Tick period;
+
+        void
+        operator()() const
+        {
+            if (*remaining > 0) {
+                --*remaining;
+                q->scheduleIn(period, *this);
+            }
+        }
+    };
+    for (unsigned i = 0; i < chainCount; ++i)
+        q.schedule(i, Chain{&q, &remaining, 97 + (i % 7)});
+    q.runToCompletion();
+    return q.executed();
+}
+
+struct SimcoreResults
+{
+    double drainLegacyMs = 0.0;
+    double drainCalendarMs = 0.0;
+    double chainLegacyMs = 0.0;
+    double chainCalendarMs = 0.0;
+    std::uint64_t platformEvents = 0;
+    double platformWallMs = 0.0;
+    double platformSimUs = 0.0;
+
+    double drainSpeedup() const { return drainLegacyMs / drainCalendarMs; }
+    double chainSpeedup() const { return chainLegacyMs / chainCalendarMs; }
+
+    double
+    chainEventsPerSec() const
+    {
+        return static_cast<double>(chainEvents) /
+               (chainCalendarMs / 1e3);
+    }
+
+    double
+    chainNsPerEvent() const
+    {
+        return chainCalendarMs * 1e6 / static_cast<double>(chainEvents);
+    }
+
+    double
+    platformEventsPerSec() const
+    {
+        return static_cast<double>(platformEvents) /
+               (platformWallMs / 1e3);
+    }
+
+    double
+    platformNsPerEvent() const
+    {
+        return platformWallMs * 1e6 /
+               static_cast<double>(platformEvents);
+    }
+};
+
+const SimcoreResults &
+results()
+{
+    static const SimcoreResults r = [] {
+        constexpr unsigned reps = 3;
+        SimcoreResults out;
+
+        out.drainLegacyMs = minWallMs(reps, [] {
+            LegacyHeapQueue q;
+            benchmark::DoNotOptimize(pendingDrain(q, drainEvents));
+        });
+        out.drainCalendarMs = minWallMs(reps, [] {
+            EventQueue q;
+            benchmark::DoNotOptimize(pendingDrain(q, drainEvents));
+        });
+        out.chainLegacyMs = minWallMs(reps, [] {
+            LegacyHeapQueue q;
+            benchmark::DoNotOptimize(steadyChains(q, chainEvents));
+        });
+        out.chainCalendarMs = minWallMs(reps, [] {
+            EventQueue q;
+            benchmark::DoNotOptimize(steadyChains(q, chainEvents));
+        });
+
+        // Fig. 6-style reference workload: full-scale random ro GUPS,
+        // all 9 ports, 200 us of simulated time.
+        const Tick window = 200 * tickUs;
+        out.platformSimUs = ticksToUs(window);
+        out.platformWallMs = minWallMs(reps, [&out, window] {
+            Ac510Config cfg;
+            Ac510Module module(cfg);
+            module.start();
+            module.runUntil(window);
+            out.platformEvents = module.queue().executed();
+        });
+        return out;
+    }();
+    return r;
+}
+
+void
+printFigure()
+{
+    const SimcoreResults &r = results();
+    std::printf("\nEvent-core performance: legacy heap+std::function "
+                "vs calendar queue (min of 3)\n\n");
+    TextTable table(
+        {"Workload", "Legacy ms", "Calendar ms", "Speedup"});
+    table.addRow({"1e6-pending drain", strfmt("%.1f", r.drainLegacyMs),
+                  strfmt("%.1f", r.drainCalendarMs),
+                  strfmt("%.2fx", r.drainSpeedup())});
+    table.addRow({"2e6-event steady chains",
+                  strfmt("%.1f", r.chainLegacyMs),
+                  strfmt("%.1f", r.chainCalendarMs),
+                  strfmt("%.2fx", r.chainSpeedup())});
+    table.print();
+    std::printf("\nCalendar core: %.1fM events/s (%.1f ns/event) on the "
+                "steady-chain microbench\n",
+                r.chainEventsPerSec() / 1e6, r.chainNsPerEvent());
+    std::printf("Platform (fig06-style, 9-port ro, %.0f us sim): "
+                "%llu events in %.1f ms = %.1fM events/s "
+                "(%.1f ns/event)\n\n",
+                r.platformSimUs,
+                static_cast<unsigned long long>(r.platformEvents),
+                r.platformWallMs, r.platformEventsPerSec() / 1e6,
+                r.platformNsPerEvent());
+}
+
+void
+writeJson()
+{
+    const SimcoreResults &r = results();
+    const char *path = std::getenv("HMCSIM_PERF_JSON");
+    if (!path)
+        path = "BENCH_simcore.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"simcore\",\n");
+    std::fprintf(f, "  \"microbench\": {\n");
+    std::fprintf(
+        f,
+        "    \"pending_drain\": {\"events\": %llu, "
+        "\"legacy_heap_ms\": %.3f, \"calendar_ms\": %.3f, "
+        "\"speedup\": %.3f},\n",
+        static_cast<unsigned long long>(drainEvents), r.drainLegacyMs,
+        r.drainCalendarMs, r.drainSpeedup());
+    std::fprintf(
+        f,
+        "    \"steady_chains\": {\"events\": %llu, "
+        "\"legacy_heap_ms\": %.3f, \"calendar_ms\": %.3f, "
+        "\"speedup\": %.3f, \"events_per_sec\": %.0f, "
+        "\"ns_per_event\": %.2f}\n",
+        static_cast<unsigned long long>(chainEvents), r.chainLegacyMs,
+        r.chainCalendarMs, r.chainSpeedup(), r.chainEventsPerSec(),
+        r.chainNsPerEvent());
+    std::fprintf(f, "  },\n");
+    std::fprintf(
+        f,
+        "  \"platform\": {\"workload\": \"fig06-style 9-port ro "
+        "random 200us\", \"events\": %llu, \"wall_ms\": %.3f, "
+        "\"events_per_sec\": %.0f, \"ns_per_event\": %.2f},\n",
+        static_cast<unsigned long long>(r.platformEvents),
+        r.platformWallMs, r.platformEventsPerSec(),
+        r.platformNsPerEvent());
+    std::fprintf(f,
+                 "  \"guard\": {\"speedup_budget\": 1.5, "
+                 "\"steady_chain_speedup\": %.3f}\n",
+                 r.chainSpeedup());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n\n", path);
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark registrations (kept name-compatible with the
+// pre-rewrite binary so --benchmark_filter comparisons line up).
+// ---------------------------------------------------------------------
 
 void
 BM_EventQueueThroughput(benchmark::State &state)
 {
-    // Steady-state heap churn: every fired event schedules another
-    // until the budget runs out, with 64 chains interleaving.
+    // Steady-state scheduling churn: every fired event schedules
+    // another until the budget runs out, with 64 chains interleaving.
     std::uint64_t executed = 0;
     for (auto _ : state) {
         EventQueue queue;
-        std::uint64_t remaining = 100000;
-        std::function<void()> tick = [&]() {
-            if (remaining > 0) {
-                --remaining;
-                queue.scheduleIn(100, tick);
-            }
-        };
-        for (int i = 0; i < 64; ++i)
-            queue.schedule(static_cast<Tick>(i), tick);
-        queue.runToCompletion();
-        executed += queue.executed();
+        executed += steadyChains(queue, 100000);
         benchmark::DoNotOptimize(executed);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(executed));
@@ -46,22 +361,42 @@ BM_EventQueueThroughput(benchmark::State &state)
 BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMillisecond);
 
 void
+BM_LegacyHeapThroughput(benchmark::State &state)
+{
+    // The same workload on the replicated pre-rewrite core.
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        LegacyHeapQueue queue;
+        executed += steadyChains(queue, 100000);
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+    state.SetLabel("events");
+}
+BENCHMARK(BM_LegacyHeapThroughput)->Unit(benchmark::kMillisecond);
+
+void
 BM_FullPlatformSimulation(benchmark::State &state)
 {
     // Simulated-time throughput of the full 9-port system under load.
     const Tick window = 200 * tickUs;
     std::uint64_t transactions = 0;
+    std::uint64_t events = 0;
     for (auto _ : state) {
         Ac510Config cfg;
         Ac510Module module(cfg);
         module.start();
         module.runUntil(window);
         transactions += module.aggregateStats().readsCompleted;
+        events += module.queue().executed();
         benchmark::DoNotOptimize(transactions);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(transactions));
     state.SetLabel("transactions");
     state.counters["sim_us_per_iter"] = ticksToUs(window);
+    state.counters["events_per_iter"] = static_cast<double>(
+        events / static_cast<std::uint64_t>(
+                     state.iterations() ? state.iterations() : 1));
 }
 BENCHMARK(BM_FullPlatformSimulation)->Unit(benchmark::kMillisecond);
 
@@ -96,4 +431,24 @@ BENCHMARK(BM_ExperimentEndToEnd)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    writeJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const char *guard = std::getenv("HMCSIM_PERF_GUARD");
+    if (guard && guard[0] == '1' &&
+        results().chainSpeedup() < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: calendar core is only %.2fx the legacy "
+                     "heap on the steady-chain workload (budget "
+                     "1.5x)\n",
+                     results().chainSpeedup());
+        return 1;
+    }
+    return 0;
+}

@@ -68,6 +68,20 @@ QueuedVaultController::registerCheckers(CheckerRegistry &registry,
         }
         return {};
     });
+    // Pool conservation: one live slot per accepted-but-uncompleted
+    // request (queued at a bank, in the bank array, or staged for the
+    // bus). Drift means a leaked or double-released slot.
+    registry.addLambda(name + ".packet_pool",
+                       [this](Tick) -> std::string {
+        const std::uint64_t outstanding =
+            _stats.accepted - _stats.completed;
+        if (pool.live() == outstanding)
+            return {};
+        std::ostringstream out;
+        out << pool.live() << " pooled packets live but " << outstanding
+            << " accepted requests uncompleted";
+        return out.str();
+    });
 }
 
 bool
@@ -80,9 +94,10 @@ QueuedVaultController::offer(const Packet &pkt)
         return false;
     }
     ++_stats.accepted;
-    Packet copy = pkt;
-    copy.tVaultArrive = queue.now();
-    bankQueues[bank_idx].push_back(std::move(copy));
+    Packet *slot = pool.acquire();
+    *slot = pkt;
+    slot->tVaultArrive = queue.now();
+    bankQueues[bank_idx].push_back(slot);
     if (!bankState[bank_idx].busy)
         startNext(bank_idx);
     return true;
@@ -102,40 +117,39 @@ QueuedVaultController::startNext(unsigned bank_idx)
         return;
     }
     bankState[bank_idx].busy = true;
-    Packet pkt = std::move(bank_queue.front());
+    Packet *pkt = bank_queue.front();
     bank_queue.pop_front();
 
-    const bool is_write = pkt.cmd != Command::Read;
+    const bool is_write = pkt->cmd != Command::Read;
     // A request that deferred on the bus stage starts now, not at its
     // (past) arrival time.
-    const Tick earliest = pkt.tVaultArrive + cfg.base.controllerLatency;
+    const Tick earliest = pkt->tVaultArrive + cfg.base.controllerLatency;
     const Tick ready = earliest > queue.now() ? earliest : queue.now();
     BankAccessResult res =
         banks[bank_idx].access(cfg.base.timings, cfg.base.policy, ready,
-                               pkt.row, pkt.payload, is_write);
-    pkt.tBankStart = res.start;
-    if (pkt.cmd == Command::Atomic)
+                               pkt->row, pkt->payload, is_write);
+    pkt->tBankStart = res.start;
+    if (pkt->cmd == Command::Atomic)
         res.dataReady += cfg.base.atomicLatency;
 
-    queue.schedule(res.dataReady,
-                   [this, bank_idx, pkt = std::move(pkt)]() mutable {
-                       onBankDone(bank_idx, std::move(pkt));
-                   });
+    queue.schedule(res.dataReady, [this, bank_idx, pkt] {
+        onBankDone(bank_idx, pkt);
+    });
     queue.schedule(res.bankFree, [this, bank_idx] {
         startNext(bank_idx);
     });
 }
 
 void
-QueuedVaultController::onBankDone(unsigned bank_idx, Packet pkt)
+QueuedVaultController::onBankDone(unsigned bank_idx, Packet *pkt)
 {
     (void)bank_idx;
     const Bytes beat_span =
-        (pkt.addr % cfg.base.timings.beatBytes) + pkt.payload;
+        (pkt->addr % cfg.base.timings.beatBytes) + pkt->payload;
     const Bytes bus_bytes =
         (cfg.base.timings.beats(beat_span) + cfg.base.commandBeats) *
         cfg.base.timings.beatBytes;
-    busQueue.push_back({std::move(pkt), bus_bytes});
+    busQueue.push_back({pkt, bus_bytes});
     grantBus();
 }
 
@@ -155,9 +169,10 @@ QueuedVaultController::grantBus()
         static_cast<double>(req.busBytes) / bytes_per_ps);
     _stats.busBusy += duration;
 
-    queue.scheduleIn(duration, [this, pkt = std::move(req.pkt)] {
+    queue.scheduleIn(duration, [this, pkt = req.pkt] {
         ++_stats.completed;
-        onComplete(pkt, queue.now());
+        onComplete(*pkt, queue.now());
+        pool.release(pkt);
         busBusy = false;
         grantBus();
         // The stage drained: wake any banks that deferred on it.

@@ -28,6 +28,7 @@
 
 #include "hmc/vault_controller.hh"
 #include "protocol/packet.hh"
+#include "protocol/packet_pool.hh"
 #include "sim/check.hh"
 #include "sim/event_queue.hh"
 
@@ -101,7 +102,7 @@ class QueuedVaultController
     void startNext(unsigned bank_idx);
 
     /** Bank finished its array access; contend for the data bus. */
-    void onBankDone(unsigned bank_idx, Packet pkt);
+    void onBankDone(unsigned bank_idx, Packet *pkt);
 
     /** Grant the bus to the next waiting transfer, if any. */
     void grantBus();
@@ -110,17 +111,26 @@ class QueuedVaultController
     EventQueue &queue;
     CompletionFn onComplete;
 
+    /**
+     * Every queued or in-flight request lives in a pooled slot from
+     * offer() until its completion callback returns; queues and event
+     * captures hold only pointers, keeping captures inside the Event
+     * inline budget (sim/event.hh) and the steady state free of
+     * per-request allocation.
+     */
+    PacketPool pool;
+
     struct BankState
     {
         bool busy = false;
     };
     std::vector<BankState> bankState;
     std::vector<Bank> banks;
-    std::vector<std::deque<Packet>> bankQueues;
+    std::vector<std::deque<Packet *>> bankQueues;
 
     struct BusRequest
     {
-        Packet pkt;
+        Packet *pkt;
         Bytes busBytes;
     };
     std::deque<BusRequest> busQueue;

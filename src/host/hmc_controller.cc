@@ -34,78 +34,85 @@ void
 HmcController::submitRequest(Packet &&pkt)
 {
     ++_stats.requestsSubmitted;
+    // The request moves into a pooled slot here and stays in it for
+    // its whole lifetime; event captures below carry only the pointer
+    // (the Event inline budget forbids by-value packets).
+    Packet *req = pool.acquire();
+    *req = pkt;
     const unsigned link =
-        static_cast<unsigned>(pkt.link % txLinks.size());
-    pkt.link = static_cast<std::uint8_t>(link);
+        static_cast<unsigned>(req->link % txLinks.size());
+    req->link = static_cast<std::uint8_t>(link);
 
     // The Add-Seq# / Add-CRC stages of Fig. 14: stamp the on-the-wire
     // header and the tail CRC the cube will verify.
-    pkt.headerBits = encodeRequestHeader(makeRequestHeader(pkt));
-    pkt.tailCrc = packetCrc(pkt, pkt.headerBits);
+    req->headerBits = encodeRequestHeader(makeRequestHeader(*req));
+    req->tailCrc = packetCrc(*req, req->headerBits);
 
     // Request flow control (Fig. 14 stage 5): without cube buffer
     // tokens, the request waits in the controller; the stop signal is
     // implicit in the parked queue.
     if (!tokens.empty()) {
-        if (!tokens[link].consume(pkt.reqFlits())) {
+        if (!tokens[link].consume(req->reqFlits())) {
             ++_stats.flowControlStalls;
-            parked[link].push_back(std::move(pkt));
+            parked[link].push_back(req);
             return;
         }
-        inFlightFlits[link] += pkt.reqFlits();
+        inFlightFlits[link] += req->reqFlits();
     }
 
-    startTransmit(std::move(pkt));
+    startTransmit(req);
 }
 
 void
-HmcController::startTransmit(Packet &&pkt)
+HmcController::startTransmit(Packet *pkt)
 {
-    const unsigned link = pkt.link;
+    const unsigned link = pkt->link;
 
     // Fixed TX pipeline, then serialization on the shared wire.
     const Tick tx_start = queue.now() + cal.txFixedLatency();
-    pkt.tLinkTx = tx_start;
-    _stats.txWireBytes += txLinks[link]->wireBytes(pkt.reqBytes());
-    const Tick arrive = txLinks[link]->transmit(tx_start, pkt.reqBytes());
+    pkt->tLinkTx = tx_start;
+    _stats.txWireBytes += txLinks[link]->wireBytes(pkt->reqBytes());
+    const Tick arrive = txLinks[link]->transmit(tx_start, pkt->reqBytes());
 
-    queue.schedule(arrive, [this, pkt = std::move(pkt)]() mutable {
+    queue.schedule(arrive, [this, pkt] {
         // The cube decodes, routes, and services the request; it tells
         // us when the response starts back on the RX wire.
-        const Tick resp_ready = device.handleRequest(pkt, queue.now());
+        const Tick resp_ready = device.handleRequest(*pkt, queue.now());
         const unsigned rx_link =
-            static_cast<unsigned>(pkt.link % rxLinks.size());
+            static_cast<unsigned>(pkt->link % rxLinks.size());
 
-        queue.schedule(resp_ready, [this, pkt, rx_link]() mutable {
-            _stats.rxWireBytes += rxLinks[rx_link]->wireBytes(pkt.respBytes());
+        queue.schedule(resp_ready, [this, pkt, rx_link] {
+            _stats.rxWireBytes +=
+                rxLinks[rx_link]->wireBytes(pkt->respBytes());
             const Tick at_fpga =
-                rxLinks[rx_link]->transmit(queue.now(), pkt.respBytes());
+                rxLinks[rx_link]->transmit(queue.now(), pkt->respBytes());
             const Tick delivered = at_fpga + cal.rxFixedLatency() +
-                                   cal.rxPerFlit * pkt.respFlits();
-            queue.schedule(delivered, [this, pkt]() mutable {
-                pkt.tResponse = queue.now();
+                                   cal.rxPerFlit * pkt->respFlits();
+            queue.schedule(delivered, [this, pkt] {
+                pkt->tResponse = queue.now();
                 ++_stats.responsesDelivered;
 
                 // The response's RTC field returns the request's
                 // input-buffer tokens; that may release parked
                 // requests (deassert the stop signal).
                 if (!tokens.empty()) {
-                    const unsigned rx = pkt.link;
-                    HMCSIM_DCHECK(inFlightFlits[rx] >= pkt.reqFlits(),
+                    const unsigned rx = pkt->link;
+                    HMCSIM_DCHECK(inFlightFlits[rx] >= pkt->reqFlits(),
                                   "returning more flits than in flight "
                                   "on link %u", rx);
-                    inFlightFlits[rx] -= pkt.reqFlits();
-                    tokens[rx].returnTokens(pkt.reqFlits());
+                    inFlightFlits[rx] -= pkt->reqFlits();
+                    tokens[rx].returnTokens(pkt->reqFlits());
                     while (!parked[rx].empty() &&
                            tokens[rx].consume(
-                               parked[rx].front().reqFlits())) {
-                        Packet next = std::move(parked[rx].front());
+                               parked[rx].front()->reqFlits())) {
+                        Packet *next = parked[rx].front();
                         parked[rx].pop_front();
-                        inFlightFlits[rx] += next.reqFlits();
-                        startTransmit(std::move(next));
+                        inFlightFlits[rx] += next->reqFlits();
+                        startTransmit(next);
                     }
                 }
-                deliver(pkt);
+                deliver(*pkt);
+                pool.release(pkt);
             });
         });
     });
@@ -126,6 +133,21 @@ void
 HmcController::registerCheckers(CheckerRegistry &registry,
                                 const std::string &name) const
 {
+    // Packet-pool conservation: every slot checked out corresponds to
+    // one submitted-but-undelivered request (in flight or parked). A
+    // drift is a leaked or double-released slot -- exactly the
+    // lifetime bug class pools attract.
+    registry.addLambda(name + ".packet_pool",
+                       [this](Tick) -> std::string {
+        const std::uint64_t outstanding =
+            _stats.requestsSubmitted - _stats.responsesDelivered;
+        if (pool.live() == outstanding)
+            return {};
+        std::ostringstream out;
+        out << pool.live() << " pooled packets live but "
+            << outstanding << " requests outstanding";
+        return out.str();
+    });
     for (std::size_t link = 0; link < tokens.size(); ++link) {
         const std::string base =
             name + ".link" + std::to_string(link);
@@ -138,13 +160,13 @@ HmcController::registerCheckers(CheckerRegistry &registry,
         registry.addLambda(base + ".stop_signal",
                            [this, link](Tick) -> std::string {
             if (parked[link].empty() ||
-                !tokens[link].canSend(parked[link].front().reqFlits()))
+                !tokens[link].canSend(parked[link].front()->reqFlits()))
                 return {};
             std::ostringstream out;
             out << parked[link].size()
                 << " requests parked although " << tokens[link].tokens()
                 << " tokens cover the head request's "
-                << parked[link].front().reqFlits() << " flits";
+                << parked[link].front()->reqFlits() << " flits";
             return out.str();
         });
     }

@@ -24,6 +24,7 @@
 #include "host/calibration.hh"
 #include "link/link.hh"
 #include "protocol/packet.hh"
+#include "protocol/packet_pool.hh"
 #include "sim/event_queue.hh"
 #include "sim/stat_registry.hh"
 #include "sim/types.hh"
@@ -97,20 +98,33 @@ class HmcController
     void registerCheckers(CheckerRegistry &registry,
                           const std::string &name) const;
 
+    /** The controller's in-flight packet pool (one per simulator;
+     *  exposed for the perf harness's allocation accounting). */
+    const PacketPool &packetPool() const { return pool; }
+
   private:
-    /** Start the TX pipeline for a request (tokens already held). */
-    void startTransmit(Packet &&pkt);
+    /**
+     * Start the TX pipeline for a pooled request (tokens already
+     * held). The pointer stays live -- threaded through the event
+     * captures of the TX wire, the cube visit, and the RX path --
+     * until the response is delivered, when the slot returns to the
+     * pool.
+     */
+    void startTransmit(Packet *pkt);
 
     ControllerCalibration cal;
     EventQueue &queue;
     HmcDevice &device;
     DeliverFn deliver;
+    /** Pool backing every in-flight request (docs/performance.md). */
+    PacketPool pool;
     std::vector<std::unique_ptr<LinkDirection>> txLinks;
     std::vector<std::unique_ptr<LinkDirection>> rxLinks;
     /** Per-link cube input-buffer tokens (engaged when configured). */
     std::vector<TokenFlowControl> tokens;
-    /** Requests parked by the stop signal, per link. */
-    std::vector<std::deque<Packet>> parked;
+    /** Requests parked by the stop signal, per link (pooled slots,
+     *  still owned by this controller). */
+    std::vector<std::deque<Packet *>> parked;
     /** Independent count of flits holding tokens, per link (audited
      *  against `tokens` by the conservation checker). */
     std::vector<std::uint64_t> inFlightFlits;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "sim/check.hh"
@@ -8,25 +10,233 @@
 namespace hmcsim
 {
 
+namespace
+{
+
+/** Sort order for overflow runs: descending by (when, seq), so the
+ *  entry firing earliest sits at the back and migration pops are
+ *  sequential O(1). */
+struct FiresLater
+{
+    bool
+    operator()(const auto &a, const auto &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+EventQueue::EventQueue() : buckets(numBuckets) {}
+
 void
-EventQueue::schedule(Tick when, EventFn fn)
+EventQueue::schedule(Tick when, Event ev)
 {
     HMCSIM_CHECK(when >= _now,
                  "scheduling event in the past (when=%llu now=%llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(_now));
-    heap.push(Entry{when, nextSeq++, std::move(fn)});
+    Entry entry{when, nextSeq++, std::move(ev)};
+    ++numPending;
+
+    const std::uint64_t abs = bucketOf(when);
+    if (abs == cursorBucket) {
+        // Into the bucket being drained: sorted insert among the
+        // not-yet-fired entries. Inserting by `when` alone keeps FIFO
+        // for equal ticks because this entry carries the largest seq.
+        const auto pos = std::upper_bound(
+            current.begin() +
+                static_cast<std::ptrdiff_t>(drainIdx),
+            current.end(), when,
+            [](Tick w, const Entry &e) { return w < e.when; });
+        current.insert(pos, std::move(entry));
+        return;
+    }
+    if (abs < cursorBucket) {
+        // The cursor ran ahead over empty buckets (e.g. a peek past
+        // the runUntil limit); pull it back. Undrained entries of the
+        // old cursor bucket return to their wheel slot, where the lap
+        // check will find them again.
+        auto &slot = buckets[cursorBucket & bucketMask];
+        for (std::size_t i = drainIdx; i < current.size(); ++i) {
+            slot.push_back(std::move(current[i]));
+            ++wheelCount;
+        }
+        if (!slot.empty())
+            markOccupied(cursorBucket & bucketMask);
+        current.clear();
+        drainIdx = 0;
+        cursorBucket = abs;
+        current.push_back(std::move(entry));
+        return;
+    }
+    if (abs < cursorBucket + numBuckets) {
+        buckets[abs & bucketMask].push_back(std::move(entry));
+        markOccupied(abs & bucketMask);
+        ++wheelCount;
+        return;
+    }
+    if (abs < stagingMinBucket)
+        stagingMinBucket = abs;
+    staging.push_back(std::move(entry));
+    ++overflowCount;
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::foldStagingIntoRuns()
 {
-    if (heap.empty())
-        return false;
-    // priority_queue::top() is const; move out via const_cast is the
-    // standard idiom here and safe because we pop immediately.
-    Entry entry = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
+    // Sort the whole staging batch once (sequential, cache friendly)
+    // and append it to the run ladder; a binary min-heap here would
+    // pay one random-access sift-down per entry instead.
+    std::sort(staging.begin(), staging.end(), FiresLater{});
+    runs.emplace_back();
+    runs.back().swap(staging);
+    stagingMinBucket = noBucket;
+
+    // Keep run sizes geometric (each at least twice the next) so an
+    // adversarial schedule/advance interleave merges each entry only
+    // O(log n) times instead of rescanning a flat buffer.
+    while (runs.size() >= 2 &&
+           runs[runs.size() - 2].size() < 2 * runs.back().size()) {
+        auto &a = runs[runs.size() - 2];
+        auto &b = runs.back();
+        mergeScratch.clear();
+        mergeScratch.reserve(a.size() + b.size());
+        std::merge(std::make_move_iterator(a.begin()),
+                   std::make_move_iterator(a.end()),
+                   std::make_move_iterator(b.begin()),
+                   std::make_move_iterator(b.end()),
+                   std::back_inserter(mergeScratch), FiresLater{});
+        a.swap(mergeScratch);
+        runs.pop_back();
+    }
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    const std::uint64_t windowEnd = cursorBucket + numBuckets;
+    if (stagingMinBucket < windowEnd)
+        foldStagingIntoRuns();
+
+    // Runs are sorted descending, so every in-window entry of a run is
+    // a pop from its back. Migration order across runs is irrelevant:
+    // the bucket drain re-sorts by (when, seq), so execution order --
+    // and therefore every stat digest -- is unchanged.
+    runsMinBucket = noBucket;
+    for (auto &run : runs) {
+        while (!run.empty() &&
+               bucketOf(run.back().when) < windowEnd) {
+            Entry entry = std::move(run.back());
+            run.pop_back();
+            const std::uint64_t abs = bucketOf(entry.when);
+            buckets[abs & bucketMask].push_back(std::move(entry));
+            markOccupied(abs & bucketMask);
+            ++wheelCount;
+            --overflowCount;
+        }
+        if (!run.empty()) {
+            const std::uint64_t b = bucketOf(run.back().when);
+            if (b < runsMinBucket)
+                runsMinBucket = b;
+        }
+    }
+    std::erase_if(runs, [](const std::vector<Entry> &r) { return r.empty(); });
+}
+
+std::uint64_t
+EventQueue::nextOccupiedBucket() const
+{
+    if (wheelCount == 0)
+        return noBucket;
+    // Ring-scan the bitmap starting one past the cursor's slot; the
+    // first set bit at distance d in [1, numBuckets] is the answer.
+    std::uint64_t dist = 1;
+    std::uint64_t idx = (cursorBucket + 1) & bucketMask;
+    std::uint64_t scanned = 0;
+    while (scanned < numBuckets) {
+        const std::uint64_t off = idx & 63;
+        const std::uint64_t span = 64 - off;
+        const std::uint64_t bits = occupied[idx >> 6] >> off;
+        if (bits != 0)
+            return cursorBucket + dist +
+                   static_cast<std::uint64_t>(__builtin_ctzll(bits));
+        idx = (idx + span) & bucketMask;
+        dist += span;
+        scanned += span;
+    }
+    // Only the cursor's own slot is occupied: its entries belong to a
+    // later lap (possible after a cursor rewind).
+    return cursorBucket + numBuckets;
+}
+
+EventQueue::Entry *
+EventQueue::peekNext()
+{
+    for (;;) {
+        if (drainIdx < current.size())
+            return &current[drainIdx];
+        if (numPending == 0)
+            return nullptr;
+        current.clear();
+        drainIdx = 0;
+
+        // Pull this lap's entries out of the cursor's wheel slot;
+        // entries a full wheel revolution (or more) ahead stay put.
+        auto &slot = buckets[cursorBucket & bucketMask];
+        if (!slot.empty()) {
+            std::size_t keep = 0;
+            for (std::size_t i = 0; i < slot.size(); ++i) {
+                if (bucketOf(slot[i].when) == cursorBucket) {
+                    current.push_back(std::move(slot[i]));
+                } else {
+                    if (keep != i)
+                        slot[keep] = std::move(slot[i]);
+                    ++keep;
+                }
+            }
+            slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(keep),
+                       slot.end());
+            if (slot.empty())
+                clearOccupied(cursorBucket & bucketMask);
+            if (!current.empty()) {
+                wheelCount -= current.size();
+                // Sort by (when, seq): equal ticks stay FIFO. std::sort
+                // is in-place -- stable_sort would heap-allocate a merge
+                // buffer on every bucket drain, breaking the
+                // allocation-free steady state.
+                std::sort(current.begin(), current.end(),
+                          [](const Entry &a, const Entry &b) {
+                              if (a.when != b.when)
+                                  return a.when < b.when;
+                              return a.seq < b.seq;
+                          });
+                continue;
+            }
+        }
+
+        // Jump the cursor straight to the next bucket holding work --
+        // the nearest occupied wheel slot or the earliest overflow
+        // entry, whichever fires first -- instead of stepping one
+        // ~1 ns bucket at a time through idle simulated time.
+        const std::uint64_t wheel_next = nextOccupiedBucket();
+        const std::uint64_t ovf_next = overflowMin();
+        const std::uint64_t next =
+            ovf_next < wheel_next ? ovf_next : wheel_next;
+        HMCSIM_DCHECK(next != noBucket,
+                      "pending=%llu but wheel and overflow empty",
+                      static_cast<unsigned long long>(numPending));
+        cursorBucket = next;
+        if (ovf_next < cursorBucket + numBuckets)
+            migrateOverflow();
+    }
+}
+
+void
+EventQueue::execute(Entry &entry)
+{
     HMCSIM_DCHECK(entry.when >= _now,
                   "event time went backwards (when=%llu now=%llu)",
                   static_cast<unsigned long long>(entry.when),
@@ -34,20 +244,36 @@ EventQueue::step()
     _now = entry.when;
     check_detail::setCurrentTick(_now);
     ++numExecuted;
-    entry.fn();
+    entry.ev();
     if (checkerRegistry && ++eventsSinceCheck >= checkEveryN) {
         eventsSinceCheck = 0;
         checkerRegistry->runAll(_now);
     }
+}
+
+bool
+EventQueue::step()
+{
+    if (peekNext() == nullptr)
+        return false;
+    Entry entry = std::move(current[drainIdx]);
+    ++drainIdx;
+    --numPending;
+    execute(entry);
     return true;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap.empty() && heap.top().when <= limit) {
-        if (!step())
+    for (;;) {
+        Entry *next = peekNext();
+        if (next == nullptr || next->when > limit)
             break;
+        Entry entry = std::move(current[drainIdx]);
+        ++drainIdx;
+        --numPending;
+        execute(entry);
     }
     if (_now < limit)
         _now = limit;
@@ -84,7 +310,19 @@ EventQueue::runCheckers()
 void
 EventQueue::reset()
 {
-    heap = {};
+    for (auto &slot : buckets)
+        slot.clear();
+    current.clear();
+    staging.clear();
+    runs.clear();
+    occupied.fill(0);
+    stagingMinBucket = noBucket;
+    runsMinBucket = noBucket;
+    overflowCount = 0;
+    drainIdx = 0;
+    cursorBucket = 0;
+    wheelCount = 0;
+    numPending = 0;
     _now = 0;
     nextSeq = 0;
     numExecuted = 0;

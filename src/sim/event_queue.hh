@@ -2,20 +2,41 @@
  * @file
  * Discrete-event simulation core.
  *
- * The EventQueue is a classic calendar of (tick, sequence, callback)
- * entries executed in non-decreasing tick order. Events scheduled at the
- * same tick execute in scheduling order (FIFO), which keeps component
- * pipelines deterministic.
+ * The EventQueue executes (tick, sequence, callback) entries in
+ * non-decreasing tick order. Events scheduled at the same tick execute
+ * in scheduling order (FIFO), which keeps component pipelines
+ * deterministic.
+ *
+ * Internally the queue is a two-level bucketed calendar rather than a
+ * binary heap (docs/performance.md):
+ *
+ *  - a timing wheel of `numBuckets` buckets, each spanning
+ *    `bucketTicks` picoseconds, holds the near future (~1 us ahead of
+ *    the cursor). schedule() is an append; ordering inside the one
+ *    bucket being drained costs one stable sort per bucket plus a
+ *    sorted insert for same-bucket arrivals.
+ *  - a sorted-run ladder holds the far future (refresh deadlines,
+ *    thermal sampling, end-of-window drains): schedule() appends to an
+ *    unsorted staging buffer, which is sorted wholesale into a run the
+ *    first time the wheel's window touches it. Entries migrate into
+ *    the wheel as the cursor advances, as sequential pops from the
+ *    run backs.
+ *
+ * Execution order is exactly (when, seq) -- identical to the old
+ * heap, so stat digests and the --selfcheck probe are unchanged.
+ * Events are hmcsim::Event (sim/event.hh): fixed-size, inline-capture
+ * callables, so the steady-state schedule/fire path performs no heap
+ * allocation at all.
  */
 
 #ifndef HMCSIM_SIM_EVENT_QUEUE_HH
 #define HMCSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event.hh"
 #include "sim/types.hh"
 
 namespace hmcsim
@@ -24,7 +45,7 @@ namespace hmcsim
 class CheckerRegistry;
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = Event;
 
 /**
  * A discrete-event queue with a monotonically advancing current time.
@@ -34,7 +55,15 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Wheel bucket span in ticks (power of two; 1024 ps ~= 1 ns,
+     *  finer than every modeled pipeline latency). */
+    static constexpr Tick bucketTicks = 1024;
+    /** Number of wheel buckets (power of two). The wheel spans
+     *  bucketTicks * numBuckets ~= 1 us beyond the cursor; refresh
+     *  (7.8 us) and thermal sampling live in the overflow heap. */
+    static constexpr std::size_t numBuckets = 1024;
+
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -42,20 +71,28 @@ class EventQueue
     Tick now() const { return _now; }
 
     /** Number of events currently pending. */
-    std::size_t pending() const { return heap.size(); }
+    std::size_t pending() const { return numPending; }
 
     /** Total number of events ever executed. */
     std::uint64_t executed() const { return numExecuted; }
 
+    /** Events currently waiting in the far-future overflow ladder
+     *  (observability hook for tests and the perf bench). */
+    std::size_t overflowPending() const { return overflowCount; }
+
     /**
      * Schedule a callback at an absolute tick.
      * @param when Absolute time; must be >= now().
-     * @param fn Callback to run.
+     * @param ev Callback to run (any callable fitting the Event
+     *        inline-capture budget, see sim/event.hh).
      */
-    void schedule(Tick when, EventFn fn);
+    void schedule(Tick when, Event ev);
 
     /** Schedule a callback @p delta ticks in the future. */
-    void scheduleIn(Tick delta, EventFn fn) { schedule(_now + delta, fn); }
+    void scheduleIn(Tick delta, Event ev)
+    {
+        schedule(_now + delta, std::move(ev));
+    }
 
     /**
      * Execute the single next event (advancing time to it).
@@ -90,29 +127,111 @@ class EventQueue
     CheckerRegistry *checkers() const { return checkerRegistry; }
 
   private:
-    /** Run attached checkers at a drain point. */
-    void runCheckers();
-
-
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
+        Event ev;
     };
 
-    struct Later
+    /** Run attached checkers at a drain point. */
+    void runCheckers();
+
+    /** Execute @p entry at its tick (shared by step/runUntil). */
+    void execute(Entry &entry);
+
+    /**
+     * Locate the next event in (when, seq) order, advancing the
+     * cursor past empty buckets and migrating overflow entries whose
+     * tick slid under the wheel window. Returns nullptr when empty.
+     * Does not advance now() or pop the event.
+     */
+    Entry *peekNext();
+
+    /** Move in-window overflow entries into their wheel buckets. */
+    void migrateOverflow();
+
+    /** Sort the staging buffer into a run and fold it into the run
+     *  ladder, merging runs to keep their sizes geometric. */
+    void foldStagingIntoRuns();
+
+    /** Bucket of the earliest overflow entry (staging or runs);
+     *  noBucket when the overflow is empty. */
+    std::uint64_t
+    overflowMin() const
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return stagingMinBucket < runsMinBucket ? stagingMinBucket
+                                                : runsMinBucket;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /** Absolute bucket index of @p when. */
+    static std::uint64_t bucketOf(Tick when) { return when / bucketTicks; }
+
+    /** Sentinel for "no overflow entries pending". */
+    static constexpr std::uint64_t noBucket = ~std::uint64_t{0};
+
+    void
+    markOccupied(std::uint64_t slot)
+    {
+        occupied[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
+
+    void
+    clearOccupied(std::uint64_t slot)
+    {
+        occupied[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+
+    /**
+     * Absolute bucket index of the nearest occupied wheel slot after
+     * the cursor (up to one full lap, so a slot holding only
+     * later-lap entries resolves to cursorBucket + numBuckets), or
+     * noBucket when the wheel is empty. Scans the occupancy bitmap a
+     * word at a time, so sparse simulated time costs O(1) per 64
+     * empty buckets instead of one loop iteration each.
+     */
+    std::uint64_t nextOccupiedBucket() const;
+
+    static constexpr std::uint64_t bucketMask = numBuckets - 1;
+    static_assert((numBuckets & bucketMask) == 0,
+                  "numBuckets must be a power of two");
+    static_assert((bucketTicks & (bucketTicks - 1)) == 0,
+                  "bucketTicks must be a power of two");
+
+    /** The wheel: bucket b holds entries whose absolute bucket index
+     *  is congruent to b modulo numBuckets; lap membership is checked
+     *  when a bucket drains. */
+    std::vector<std::vector<Entry>> buckets;
+    /** Entries of the bucket currently draining (absolute index
+     *  cursorBucket), sorted by (when, seq); [drainIdx, end) remain. */
+    std::vector<Entry> current;
+    std::size_t drainIdx = 0;
+    /** Absolute index of the bucket the cursor is on. */
+    std::uint64_t cursorBucket = 0;
+    /** Entries resident in wheel buckets (excluding `current`). */
+    std::size_t wheelCount = 0;
+    /** One bit per wheel slot: set while the slot holds entries. */
+    std::array<std::uint64_t, numBuckets / 64> occupied{};
+    /** Far-future entries not yet sorted: schedule() appends here in
+     *  O(1) and the batch is sorted wholesale the first time the
+     *  wheel's window touches it. A binary heap here costs one
+     *  random-access sift-down per entry on migration, which is what
+     *  made far-future preloads slow (docs/performance.md). */
+    std::vector<Entry> staging;
+    /** Ladder of sorted runs, each descending by (when, seq) so the
+     *  earliest entry is a pop from the back. Run sizes are kept
+     *  geometric by merging, bounding the ladder at O(log n) runs. */
+    std::vector<std::vector<Entry>> runs;
+    /** Reused merge buffer for run compaction. */
+    std::vector<Entry> mergeScratch;
+    /** Total entries across staging and runs. */
+    std::size_t overflowCount = 0;
+    /** Bucket of the earliest staging / run entry (noBucket when
+     *  empty); lets the cursor advance without touching the data. */
+    std::uint64_t stagingMinBucket = noBucket;
+    std::uint64_t runsMinBucket = noBucket;
+    std::size_t numPending = 0;
+
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

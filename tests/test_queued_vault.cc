@@ -58,12 +58,20 @@ crossValidate(const std::vector<std::pair<Tick, Packet>> &arrivals)
         qcfg, queue, [&done](const Packet &pkt, Tick at) {
             done.emplace_back(pkt.id, at);
         });
+    // Arrival packets live outside the event captures: a by-value
+    // Packet no longer fits the Event inline budget (sim/event.hh).
+    std::vector<Packet> stamped;
+    stamped.reserve(arrivals.size());
     std::uint64_t id = 0;
     for (const auto &[when, pkt] : arrivals) {
-        Packet copy = pkt;
-        copy.id = id++;
-        queue.schedule(when, [&queued, copy] {
-            ASSERT_TRUE(queued.offer(copy));
+        (void)when;
+        stamped.push_back(pkt);
+        stamped.back().id = id++;
+    }
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const Packet *pkt = &stamped[i];
+        queue.schedule(arrivals[i].first, [&queued, pkt] {
+            ASSERT_TRUE(queued.offer(*pkt));
         });
     }
     queue.runToCompletion();

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/clocked.hh"
@@ -73,7 +74,7 @@ TEST(EventQueue, EventsCanScheduleEvents)
 {
     EventQueue q;
     int count = 0;
-    EventFn chain = [&]() {
+    std::function<void()> chain = [&]() {
         ++count;
         if (count < 5)
             q.scheduleIn(10, [&] {
