@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <queue>
 #include <string>
@@ -31,10 +32,14 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "gups/address_generator.hh"
+#include "hmc/address_mapper.hh"
 #include "host/experiment.hh"
+#include "protocol/packet.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/stats.hh"
 
 namespace
 {
@@ -181,6 +186,205 @@ steadyChains(Queue &q, std::uint64_t total)
     return q.executed();
 }
 
+// ---------------------------------------------------------------------
+// Model-path A/B microbenches (PR 5, docs/performance.md): with the
+// event core fast, per-packet *model* work dominates the platform
+// window. Each microbench races the shipping fast path against the
+// per-packet formulation it replaced, on identical inputs, and the
+// harness asserts the observable results are bit-identical before
+// timing anything -- the same byte-identical-digest discipline the
+// calendar-queue rewrite established.
+// ---------------------------------------------------------------------
+
+/** Addresses decoded / samples flushed / addresses issued per side. */
+constexpr std::size_t modelOpCount = 4000000;
+/** Ports emulated by the stats microbench (the AC-510's GUPS count). */
+constexpr unsigned modelPortCount = 9;
+/** Issue-window depth matching GupsPort::addrWindowSize. */
+constexpr unsigned modelWindowSize = 32;
+
+/** Fold a decoded address into a checksum (prevents DCE and doubles
+ *  as the bit-identity witness between the two decode paths). */
+inline std::uint64_t
+foldDecoded(std::uint64_t acc, const DecodedAddress &d)
+{
+    acc = acc * 1099511628211ULL ^ d.vault;
+    acc = acc * 1099511628211ULL ^ d.bank;
+    acc = acc * 1099511628211ULL ^ d.quadrant;
+    acc = acc * 1099511628211ULL ^ d.row;
+    acc = acc * 1099511628211ULL ^ d.column;
+    return acc;
+}
+
+std::uint64_t
+mapperDecodeRun(const AddressMapper &mapper,
+                const std::vector<Addr> &addrs, bool reference,
+                std::uint64_t acc)
+{
+    if (reference) {
+        for (const Addr a : addrs)
+            acc = foldDecoded(acc, mapper.decodeReference(a));
+    } else {
+        for (const Addr a : addrs)
+            acc = foldDecoded(acc, mapper.decode(a));
+    }
+    return acc;
+}
+
+/** Per-port monitoring state replicated for the stats A/B. */
+struct StatsPortState
+{
+    SampleStats latency;
+    Histogram hist{0.0, 100000.0, 1000};
+    std::uint64_t completed = 0;
+    Bytes rawBytes = 0;
+    Bytes payloadBytes = 0;
+};
+
+/** The pre-PR5 per-response monitoring path: convert to ns, run the
+ *  Welford accumulator, probe the histogram, bump three counters --
+ *  per sample. Calls the same shipping SampleStats::sample and
+ *  Histogram::sample the port used to call. */
+void
+statsPerSampleRun(std::vector<StatsPortState> &ports,
+                  const std::vector<Tick> &ticks)
+{
+    const Bytes trans_bytes = transactionBytes(Command::Read, 128);
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        StatsPortState &p = ports[i % modelPortCount];
+        const double v = ticksToNs(ticks[i]);
+        p.latency.sample(v);
+        p.hist.sample(v);
+        ++p.completed;
+        p.rawBytes += trans_bytes;
+        p.payloadBytes += 128;
+    }
+}
+
+/** The shipping batched path: buffer raw ticks per port, drain each
+ *  full buffer with TickLatencyBatch::flushInto, and settle the
+ *  completion counters per flush. */
+void
+statsBatchedRun(std::vector<StatsPortState> &ports,
+                const std::vector<Tick> &ticks)
+{
+    const Bytes trans_bytes = transactionBytes(Command::Read, 128);
+    TickLatencyBatch batches[modelPortCount];
+    auto flush = [&](unsigned port) {
+        StatsPortState &p = ports[port];
+        const auto n = static_cast<std::uint64_t>(batches[port].size());
+        batches[port].flushInto(p.latency, &p.hist);
+        p.completed += n;
+        p.rawBytes += n * trans_bytes;
+        p.payloadBytes += n * 128;
+    };
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        const auto port = static_cast<unsigned>(i % modelPortCount);
+        if (batches[port].push(ticks[i]))
+            flush(port);
+    }
+    for (unsigned port = 0; port < modelPortCount; ++port)
+        if (!batches[port].empty())
+            flush(port);
+}
+
+/** Exact bits of a double, for the bit-identity assertions. */
+inline std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Checksum over every digest-observable field of a port's stats. */
+std::uint64_t
+statsChecksum(const std::vector<StatsPortState> &ports)
+{
+    std::uint64_t acc = 1469598103934665603ULL;
+    for (const StatsPortState &p : ports) {
+        acc = acc * 1099511628211ULL ^ p.latency.count();
+        acc = acc * 1099511628211ULL ^ doubleBits(p.latency.sum());
+        acc = acc * 1099511628211ULL ^ doubleBits(p.latency.min());
+        acc = acc * 1099511628211ULL ^ doubleBits(p.latency.max());
+        acc = acc * 1099511628211ULL ^ p.hist.totalSamples();
+        acc = acc * 1099511628211ULL ^ p.hist.underflow();
+        acc = acc * 1099511628211ULL ^ p.hist.overflow();
+        for (std::size_t b = 0; b < p.hist.numBins(); ++b)
+            acc = acc * 1099511628211ULL ^ p.hist.binCount(b);
+        acc = acc * 1099511628211ULL ^ p.completed;
+        acc = acc * 1099511628211ULL ^ p.rawBytes;
+        acc = acc * 1099511628211ULL ^ p.payloadBytes;
+    }
+    return acc;
+}
+
+// The retired per-call address generator, replicated for the A/B: the
+// shipping AddressGenerator now hoists the alignment, the random
+// bound (a 64-bit divide), and the mask work out of the loop, so the
+// old formulation lives here. next() is noinline because the original
+// lived in another translation unit -- each issue paid a real call
+// and recomputed the bound; letting the optimizer inline and hoist
+// that divide here would benchmark code that never shipped.
+struct LegacyAddressGenerator
+{
+    AddressGeneratorConfig cfg;
+    Xoshiro256StarStar rng;
+
+    LegacyAddressGenerator(const AddressGeneratorConfig &cfg,
+                           std::uint64_t seed)
+        : cfg(cfg), rng(seed)
+    {
+    }
+
+    __attribute__((noinline)) Addr
+    next()
+    {
+        const Addr align = cfg.requestSize % 32 == 0 ? 32 : 16;
+        Addr addr = rng.nextBounded(cfg.capacity / align) * align;
+        addr = (addr & ~cfg.mask) | cfg.antiMask;
+        addr &= ~(align - 1);
+        return addr;
+    }
+};
+
+AddressGeneratorConfig
+issueBenchConfig()
+{
+    AddressGeneratorConfig cfg;
+    cfg.mode = AddressingMode::Random;
+    cfg.requestSize = 128;
+    cfg.capacity = 4 * gib;
+    return cfg;
+}
+
+std::uint64_t
+issuePerCallRun(std::size_t n, std::uint64_t seed)
+{
+    LegacyAddressGenerator gen(issueBenchConfig(), seed);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += gen.next();
+    return acc;
+}
+
+std::uint64_t
+issueWindowedRun(std::size_t n, std::uint64_t seed)
+{
+    AddressGenerator gen(issueBenchConfig(), seed);
+    Addr window[modelWindowSize];
+    unsigned pos = modelWindowSize;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pos == modelWindowSize) {
+            gen.fill(window, modelWindowSize);
+            pos = 0;
+        }
+        acc += window[pos++];
+    }
+    return acc;
+}
+
 struct SimcoreResults
 {
     double drainLegacyMs = 0.0;
@@ -190,9 +394,18 @@ struct SimcoreResults
     std::uint64_t platformEvents = 0;
     double platformWallMs = 0.0;
     double platformSimUs = 0.0;
+    double mapperDivmodMs = 0.0;
+    double mapperPlanMs = 0.0;
+    double statsPerSampleMs = 0.0;
+    double statsBatchedMs = 0.0;
+    double issuePerCallMs = 0.0;
+    double issueWindowedMs = 0.0;
 
     double drainSpeedup() const { return drainLegacyMs / drainCalendarMs; }
     double chainSpeedup() const { return chainLegacyMs / chainCalendarMs; }
+    double mapperSpeedup() const { return mapperDivmodMs / mapperPlanMs; }
+    double statsSpeedup() const { return statsPerSampleMs / statsBatchedMs; }
+    double issueSpeedup() const { return issuePerCallMs / issueWindowedMs; }
 
     double
     chainEventsPerSec() const
@@ -257,9 +470,95 @@ results()
             module.runUntil(window);
             out.platformEvents = module.queue().executed();
         });
+
+        // Model-path microbenches, min of 5 (short enough that the
+        // extra reps are cheap and they tighten the A/B against
+        // scheduler noise). Inputs are generated once and shared so
+        // both sides chew identical data.
+        constexpr unsigned model_reps = 5;
+
+        const AddressMapper mapper(HmcConfig::gen2_4GB(),
+                                   MaxBlockSize::B128);
+        std::vector<Addr> addrs(modelOpCount);
+        {
+            Xoshiro256StarStar rng(11);
+            for (Addr &a : addrs)
+                a = rng.nextBounded(4ull * gib);
+        }
+        if (mapperDecodeRun(mapper, addrs, true, 0) !=
+            mapperDecodeRun(mapper, addrs, false, 0))
+            fatal("address-plan decode diverges from the div/mod "
+                  "reference");
+        // The timed closures fold a per-rep salt into each run so the
+        // optimizer cannot treat a rep as a pure repeat of the last
+        // and hoist it out of the timing loop.
+        std::uint64_t salt = 1;
+        out.mapperDivmodMs = minWallMs(model_reps, [&] {
+            benchmark::DoNotOptimize(
+                mapperDecodeRun(mapper, addrs, true, salt++));
+        });
+        out.mapperPlanMs = minWallMs(model_reps, [&] {
+            benchmark::DoNotOptimize(
+                mapperDecodeRun(mapper, addrs, false, salt++));
+        });
+
+        std::vector<Tick> ticks(modelOpCount);
+        {
+            // Latencies in the platform's real range (~0.4..3 us),
+            // plus exact bin boundaries via the modulus pattern.
+            Xoshiro256StarStar rng(13);
+            for (Tick &t : ticks)
+                t = 400000 + rng.nextBounded(2600000);
+        }
+        {
+            std::vector<StatsPortState> a(modelPortCount);
+            std::vector<StatsPortState> b(modelPortCount);
+            statsPerSampleRun(a, ticks);
+            statsBatchedRun(b, ticks);
+            if (statsChecksum(a) != statsChecksum(b))
+                fatal("batched stats flush diverges from the "
+                      "per-sample path");
+        }
+        out.statsPerSampleMs = minWallMs(model_reps, [&] {
+            std::vector<StatsPortState> ports(modelPortCount);
+            statsPerSampleRun(ports, ticks);
+            benchmark::DoNotOptimize(statsChecksum(ports));
+        });
+        out.statsBatchedMs = minWallMs(model_reps, [&] {
+            std::vector<StatsPortState> ports(modelPortCount);
+            statsBatchedRun(ports, ticks);
+            benchmark::DoNotOptimize(statsChecksum(ports));
+        });
+
+        if (issuePerCallRun(modelOpCount, 0x1234) !=
+            issueWindowedRun(modelOpCount, 0x1234))
+            fatal("windowed GUPS issue diverges from the per-call "
+                  "address stream");
+        out.issuePerCallMs = minWallMs(model_reps, [&] {
+            benchmark::DoNotOptimize(
+                issuePerCallRun(modelOpCount, salt++));
+        });
+        out.issueWindowedMs = minWallMs(model_reps, [&] {
+            benchmark::DoNotOptimize(
+                issueWindowedRun(modelOpCount, salt++));
+        });
         return out;
     }();
     return r;
+}
+
+/** Platform wall-clock budget in ms for the perf guard: PR 4's
+ *  fig06-style window took 15.5 ms, and the model-path overhaul must
+ *  land under it (override with HMCSIM_PERF_PLATFORM_BUDGET_MS). */
+double
+platformBudgetMs()
+{
+    if (const char *env = std::getenv("HMCSIM_PERF_PLATFORM_BUDGET_MS")) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+    }
+    return 15.5;
 }
 
 void
@@ -281,13 +580,33 @@ printFigure()
     std::printf("\nCalendar core: %.1fM events/s (%.1f ns/event) on the "
                 "steady-chain microbench\n",
                 r.chainEventsPerSec() / 1e6, r.chainNsPerEvent());
-    std::printf("Platform (fig06-style, 9-port ro, %.0f us sim): "
+
+    std::printf("\nModel-path microbenches: per-packet formulation vs "
+                "shipping fast path (min of 5, bit-identical "
+                "results)\n\n");
+    TextTable model(
+        {"Model path", "Per-packet ms", "Fast-path ms", "Speedup"});
+    model.addRow({"address decode (4M)",
+                  strfmt("%.1f", r.mapperDivmodMs),
+                  strfmt("%.1f", r.mapperPlanMs),
+                  strfmt("%.2fx", r.mapperSpeedup())});
+    model.addRow({"latency stats (4M samples, 9 ports)",
+                  strfmt("%.1f", r.statsPerSampleMs),
+                  strfmt("%.1f", r.statsBatchedMs),
+                  strfmt("%.2fx", r.statsSpeedup())});
+    model.addRow({"GUPS issue addresses (4M)",
+                  strfmt("%.1f", r.issuePerCallMs),
+                  strfmt("%.1f", r.issueWindowedMs),
+                  strfmt("%.2fx", r.issueSpeedup())});
+    model.print();
+
+    std::printf("\nPlatform (fig06-style, 9-port ro, %.0f us sim): "
                 "%llu events in %.1f ms = %.1fM events/s "
-                "(%.1f ns/event)\n\n",
+                "(%.1f ns/event; budget %.1f ms)\n\n",
                 r.platformSimUs,
                 static_cast<unsigned long long>(r.platformEvents),
                 r.platformWallMs, r.platformEventsPerSec() / 1e6,
-                r.platformNsPerEvent());
+                r.platformNsPerEvent(), platformBudgetMs());
 }
 
 void
@@ -322,6 +641,28 @@ writeJson()
         r.chainCalendarMs, r.chainSpeedup(), r.chainEventsPerSec(),
         r.chainNsPerEvent());
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"model_path\": {\n");
+    std::fprintf(
+        f,
+        "    \"address_decode\": {\"addresses\": %llu, "
+        "\"divmod_ms\": %.3f, \"plan_ms\": %.3f, \"speedup\": %.3f},\n",
+        static_cast<unsigned long long>(modelOpCount), r.mapperDivmodMs,
+        r.mapperPlanMs, r.mapperSpeedup());
+    std::fprintf(
+        f,
+        "    \"stats_flush\": {\"samples\": %llu, \"ports\": %u, "
+        "\"per_sample_ms\": %.3f, \"batched_ms\": %.3f, "
+        "\"speedup\": %.3f},\n",
+        static_cast<unsigned long long>(modelOpCount), modelPortCount,
+        r.statsPerSampleMs, r.statsBatchedMs, r.statsSpeedup());
+    std::fprintf(
+        f,
+        "    \"gups_issue\": {\"addresses\": %llu, "
+        "\"per_call_ms\": %.3f, \"windowed_ms\": %.3f, "
+        "\"speedup\": %.3f}\n",
+        static_cast<unsigned long long>(modelOpCount), r.issuePerCallMs,
+        r.issueWindowedMs, r.issueSpeedup());
+    std::fprintf(f, "  },\n");
     std::fprintf(
         f,
         "  \"platform\": {\"workload\": \"fig06-style 9-port ro "
@@ -332,8 +673,15 @@ writeJson()
         r.platformNsPerEvent());
     std::fprintf(f,
                  "  \"guard\": {\"speedup_budget\": 1.5, "
-                 "\"steady_chain_speedup\": %.3f}\n",
-                 r.chainSpeedup());
+                 "\"steady_chain_speedup\": %.3f, "
+                 "\"address_decode_speedup\": %.3f, "
+                 "\"stats_flush_speedup\": %.3f, "
+                 "\"gups_issue_speedup\": %.3f, "
+                 "\"platform_budget_ms\": %.1f, "
+                 "\"platform_wall_ms\": %.3f}\n",
+                 r.chainSpeedup(), r.mapperSpeedup(), r.statsSpeedup(),
+                 r.issueSpeedup(), platformBudgetMs(),
+                 r.platformWallMs);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n\n", path);
@@ -441,14 +789,38 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
 
     const char *guard = std::getenv("HMCSIM_PERF_GUARD");
-    if (guard && guard[0] == '1' &&
-        results().chainSpeedup() < 1.5) {
-        std::fprintf(stderr,
-                     "FAIL: calendar core is only %.2fx the legacy "
-                     "heap on the steady-chain workload (budget "
-                     "1.5x)\n",
-                     results().chainSpeedup());
-        return 1;
+    if (guard && guard[0] == '1') {
+        const SimcoreResults &r = results();
+        int failures = 0;
+        const auto require = [&failures](double speedup, double budget,
+                                         const char *what) {
+            if (speedup < budget) {
+                std::fprintf(stderr,
+                             "FAIL: %s is only %.2fx its per-packet "
+                             "formulation (budget %.2fx)\n",
+                             what, speedup, budget);
+                ++failures;
+            }
+        };
+        require(r.chainSpeedup(), 1.5,
+                "calendar core (steady-chain workload)");
+        require(r.mapperSpeedup(), 1.5, "precompiled address plan");
+        // The stats comparator is latency-bound on the per-sample
+        // Welford divide chain and its wall time swings ~40% with the
+        // runner's frequency/alignment state (typical speedup 1.5-1.6x,
+        // observed floor ~1.4x); the guard keeps noise margin below
+        // the typical figure so shared CI runners don't flake.
+        require(r.statsSpeedup(), 1.35, "batched stats flush");
+        require(r.issueSpeedup(), 1.5, "windowed GUPS issue");
+        if (r.platformWallMs > platformBudgetMs()) {
+            std::fprintf(stderr,
+                         "FAIL: fig06-style platform window took "
+                         "%.2f ms (budget %.1f ms)\n",
+                         r.platformWallMs, platformBudgetMs());
+            ++failures;
+        }
+        if (failures)
+            return 1;
     }
     return 0;
 }

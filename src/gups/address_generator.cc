@@ -21,24 +21,21 @@ AddressGenerator::AddressGenerator(const AddressGeneratorConfig &cfg,
         fatal("request size must be a non-zero multiple of 16 B");
     // When the capacity is not a multiple of the request size, the
     // linear sequence wraps before an access would cross the limit.
-}
 
-Addr
-AddressGenerator::alignment() const
-{
     // Requests should start on 32 B boundaries to use the vault data
     // bus efficiently (Sec. II-C); sizes that are not a multiple of
     // 32 B can only be held to 16 B boundaries.
-    return cfg.requestSize % 32 == 0 ? 32 : 16;
+    align = cfg.requestSize % 32 == 0 ? 32 : 16;
+    alignMask = ~(align - 1);
+    randomBound = cfg.capacity / align;
 }
 
 Addr
 AddressGenerator::next()
 {
-    const Addr align = alignment();
     Addr addr;
     if (cfg.mode == AddressingMode::Random) {
-        addr = rng.nextBounded(cfg.capacity / align) * align;
+        addr = rng.nextBounded(randomBound) * align;
     } else {
         addr = linearCursor;
         linearCursor += cfg.requestSize;
@@ -48,8 +45,35 @@ AddressGenerator::next()
     // Force bits to zero/one per the mask registers, then re-align so
     // the anti-mask cannot produce an unaligned access.
     addr = (addr & ~cfg.mask) | cfg.antiMask;
-    addr &= ~(align - 1);
+    addr &= alignMask;
     return addr;
+}
+
+void
+AddressGenerator::fill(Addr *out, std::size_t n)
+{
+    const Addr clear_mask = ~cfg.mask;
+    const Addr set_mask = cfg.antiMask;
+    if (cfg.mode == AddressingMode::Random) {
+        const std::uint64_t bound = randomBound;
+        const Addr a = align;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr addr = rng.nextBounded(bound) * a;
+            out[i] = ((addr & clear_mask) | set_mask) & alignMask;
+        }
+    } else {
+        Addr cursor = linearCursor;
+        const Bytes step = cfg.requestSize;
+        const Bytes limit = cfg.capacity;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr addr = cursor;
+            cursor += step;
+            if (cursor + step > limit)
+                cursor = 0;
+            out[i] = ((addr & clear_mask) | set_mask) & alignMask;
+        }
+        linearCursor = cursor;
+    }
 }
 
 } // namespace hmcsim

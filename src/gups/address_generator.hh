@@ -11,6 +11,7 @@
 #ifndef HMCSIM_GUPS_ADDRESS_GENERATOR_HH
 #define HMCSIM_GUPS_ADDRESS_GENERATOR_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/random.hh"
@@ -58,8 +59,19 @@ class AddressGenerator
     /** Next address in the stream (aligned, masked). */
     Addr next();
 
+    /**
+     * Generate the next @p n addresses of the stream into @p out.
+     * Exactly equivalent to n calls to next(): the RNG (or linear
+     * cursor) is consumed in the same order, so a port that fills an
+     * issue window ahead of time produces the same address sequence
+     * as one that generates per request (the tail it never issues is
+     * unobservable). Hoists the alignment/bound/mask work out of the
+     * per-address loop.
+     */
+    void fill(Addr *out, std::size_t n);
+
     /** Alignment the generator holds addresses to (16 or 32 B). */
-    Addr alignment() const;
+    Addr alignment() const { return align; }
 
     const AddressGeneratorConfig &config() const { return cfg; }
 
@@ -67,6 +79,11 @@ class AddressGenerator
     AddressGeneratorConfig cfg;
     Xoshiro256StarStar rng;
     Addr linearCursor = 0;
+    // Hoisted per-address constants: next()/fill() used to recompute
+    // the alignment and the random bound (a 64-bit divide) per call.
+    Addr align = 16;
+    Addr alignMask = ~Addr(15);
+    std::uint64_t randomBound = 1;
 };
 
 } // namespace hmcsim

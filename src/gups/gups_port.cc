@@ -36,6 +36,26 @@ GupsPort::GupsPort(unsigned id, const GupsPortConfig &cfg, Bytes capacity,
       // Distinct id space per port so packet ids never collide.
       nextPacketId(static_cast<std::uint64_t>(id) << 48)
 {
+    // On the AC-510's two links, ports 0-4 feed link 0 and 5-8 link 1
+    // (five TX_ports per hmc_node, Fig. 14); with more links, ports
+    // spread round-robin.
+    if (cfg.numLinks == 2) {
+        linkId = portId < 5 ? 0 : 1;
+    } else {
+        linkId = static_cast<std::uint8_t>(
+            portId % (cfg.numLinks ? cfg.numLinks : 1));
+    }
+
+    // Per-completion byte costs are fixed by the port's mix: tagged
+    // requests are all Reads (payload = requestSize) or all Atomics
+    // (16 B immediate operand), never both.
+    const bool atomic = cfg.mix == RequestMix::Atomic;
+    readPayload = atomic ? 16 : cfg.requestSize;
+    readTransactionBytes = transactionBytes(
+        atomic ? Command::Atomic : Command::Read, readPayload);
+    writePayload = cfg.requestSize;
+    writeTransactionBytes =
+        transactionBytes(Command::Write, writePayload);
 }
 
 void
@@ -60,15 +80,7 @@ GupsPort::makePacket(Command cmd, Addr addr)
     pkt.addr = addr;
     pkt.payload = cfg.requestSize;
     pkt.port = static_cast<std::uint8_t>(portId);
-    // On the AC-510's two links, ports 0-4 feed link 0 and 5-8 link 1
-    // (five TX_ports per hmc_node, Fig. 14); with more links, ports
-    // spread round-robin.
-    if (cfg.numLinks == 2) {
-        pkt.link = portId < 5 ? 0 : 1;
-    } else {
-        pkt.link = static_cast<std::uint8_t>(
-            portId % (cfg.numLinks ? cfg.numLinks : 1));
-    }
+    pkt.link = linkId;
     pkt.tIssued = queue.now();
     return pkt;
 }
@@ -111,7 +123,7 @@ GupsPort::issueOne()
           case RequestMix::ReadOnly:
           case RequestMix::ReadModifyWrite:
             if (tags.available()) {
-                Packet pkt = makePacket(Command::Read, addrGen.next());
+                Packet pkt = makePacket(Command::Read, nextAddress());
                 pkt.tag = tags.allocate();
                 ++outstandingReads;
                 ++_stats.readsIssued;
@@ -126,14 +138,14 @@ GupsPort::issueOne()
                 ++outstandingWrites;
                 ++_stats.writesIssued;
                 ++generatedOps;
-                Packet pkt = makePacket(Command::Write, addrGen.next());
+                Packet pkt = makePacket(Command::Write, nextAddress());
                 submit(std::move(pkt));
                 issued = true;
             }
             break;
           case RequestMix::Atomic:
             if (tags.available()) {
-                Packet pkt = makePacket(Command::Atomic, addrGen.next());
+                Packet pkt = makePacket(Command::Atomic, nextAddress());
                 // Atomic requests carry a 16 B immediate operand; the
                 // update happens in the vault controller.
                 pkt.payload = 16;
@@ -187,31 +199,78 @@ GupsPort::registerStats(StatRegistry &registry,
                       "tagged requests issued", &_stats.readsIssued);
     registry.addValue((path / "writes_issued").str(),
                       "write requests issued", &_stats.writesIssued);
-    registry.addValue((path / "reads_completed").str(),
-                      "tagged responses received",
-                      &_stats.readsCompleted);
-    registry.addValue((path / "writes_completed").str(),
-                      "write responses received",
-                      &_stats.writesCompleted);
-    registry.addValue((path / "raw_bytes").str(),
-                      "raw link bytes of completed transactions",
-                      &_stats.rawBytes);
+    // Completion counters and latency summaries are deferred into the
+    // tick batches (onResponse); these evaluators drain them first,
+    // then apply the same conversion addValue() would, so the digest
+    // bytes match the per-sample path exactly.
+    registry.add((path / "reads_completed").str(),
+                 "tagged responses received", [this] {
+        flushLatencyBatches();
+        return static_cast<double>(_stats.readsCompleted);
+    });
+    registry.add((path / "writes_completed").str(),
+                 "write responses received", [this] {
+        flushLatencyBatches();
+        return static_cast<double>(_stats.writesCompleted);
+    });
+    registry.add((path / "raw_bytes").str(),
+                 "raw link bytes of completed transactions", [this] {
+        flushLatencyBatches();
+        return static_cast<double>(_stats.rawBytes);
+    });
     registry.add((path / "read_latency_avg_ns").str(),
-                 "mean tagged-request round trip",
-                 [this] { return _stats.readLatencyNs.mean(); });
+                 "mean tagged-request round trip", [this] {
+        flushLatencyBatches();
+        return _stats.readLatencyNs.mean();
+    });
     registry.add((path / "read_latency_max_ns").str(),
-                 "max tagged-request round trip",
-                 [this] { return _stats.readLatencyNs.max(); });
+                 "max tagged-request round trip", [this] {
+        flushLatencyBatches();
+        return _stats.readLatencyNs.max();
+    });
     registry.addValue((path / "thermal_failures").str(),
                       "responses flagging thermal shutdown",
                       &_stats.thermalFailures);
 }
 
 void
+GupsPort::flushReadBatch() const
+{
+    const auto flushed = static_cast<std::uint64_t>(readBatch.size());
+    readBatch.flushInto(_stats.readLatencyNs, &_stats.readLatencyHistNs);
+    _stats.readsCompleted += flushed;
+    _stats.rawBytes += flushed * readTransactionBytes;
+    _stats.readPayloadBytes += flushed * readPayload;
+}
+
+void
+GupsPort::flushWriteBatch() const
+{
+    const auto flushed = static_cast<std::uint64_t>(writeBatch.size());
+    writeBatch.flushInto(_stats.writeLatencyNs);
+    _stats.writesCompleted += flushed;
+    _stats.rawBytes += flushed * writeTransactionBytes;
+    _stats.writePayloadBytes += flushed * writePayload;
+}
+
+void
+GupsPort::flushLatencyBatches() const
+{
+    if (!readBatch.empty())
+        flushReadBatch();
+    if (!writeBatch.empty())
+        flushWriteBatch();
+}
+
+void
 GupsPort::onResponse(const Packet &pkt)
 {
-    const double latency_ns =
-        ticksToNs(queue.now() - pkt.tIssued);
+    // The round trip stays in the integer tick domain here; the
+    // ns conversion, the latency accumulators, the histogram probe,
+    // and the per-completion byte counters are all batched into the
+    // flush (flushReadBatch/flushWriteBatch), which reproduces the
+    // per-sample results bit for bit (sim/stats.hh).
+    const Tick latency_ticks = queue.now() - pkt.tIssued;
 
     if (pkt.thermalFailure)
         ++_stats.thermalFailures;
@@ -224,11 +283,8 @@ GupsPort::onResponse(const Packet &pkt)
                      portId, static_cast<unsigned long long>(pkt.id));
         --outstandingReads;
         tags.release(pkt.tag);
-        ++_stats.readsCompleted;
-        _stats.readLatencyNs.sample(latency_ns);
-        _stats.readLatencyHistNs.sample(latency_ns);
-        _stats.rawBytes += transactionBytes(pkt.cmd, pkt.payload);
-        _stats.readPayloadBytes += pkt.payload;
+        if (readBatch.push(latency_ticks))
+            flushReadBatch();
         if (cfg.mix == RequestMix::ReadModifyWrite)
             pendingRmwWrites.push_back(pkt.addr);
         break;
@@ -238,10 +294,8 @@ GupsPort::onResponse(const Packet &pkt)
                      portId, static_cast<unsigned long long>(pkt.id));
         --outstandingWrites;
         ++writeCredits;
-        ++_stats.writesCompleted;
-        _stats.writeLatencyNs.sample(latency_ns);
-        _stats.rawBytes += transactionBytes(pkt.cmd, pkt.payload);
-        _stats.writePayloadBytes += pkt.payload;
+        if (writeBatch.push(latency_ticks))
+            flushWriteBatch();
         break;
     }
 

@@ -136,7 +136,19 @@ class GupsPort
                generatedOps >= cfg.requestBudget;
     }
 
-    const GupsPortStats &stats() const { return _stats; }
+    /**
+     * This port's monitoring counters. Latency samples and completion
+     * counters are buffered in tick-domain batches on the hot path
+     * (sim/stats.hh); the accessor drains them first, so readers
+     * always observe exactly the values the per-sample path would
+     * have produced.
+     */
+    const GupsPortStats &
+    stats() const
+    {
+        flushLatencyBatches();
+        return _stats;
+    }
 
     /** Register this port's monitoring counters under @p path. */
     void registerStats(StatRegistry &registry, const StatPath &path) const;
@@ -148,8 +160,16 @@ class GupsPort
      */
     void registerCheckers(CheckerRegistry &registry,
                           const std::string &name) const;
-    /** Clear monitoring counters (e.g. after warm-up). */
-    void resetStats() { _stats = GupsPortStats{}; }
+    /** Clear monitoring counters (e.g. after warm-up). Buffered
+     *  samples are warm-up samples, so they are dropped, not
+     *  flushed. */
+    void
+    resetStats()
+    {
+        _stats = GupsPortStats{};
+        readBatch.clear();
+        writeBatch.clear();
+    }
 
     unsigned id() const { return portId; }
     unsigned outstanding() const
@@ -158,12 +178,34 @@ class GupsPort
     }
 
   private:
+    /** Issue-window depth: addresses pre-generated per refill so the
+     *  generator's mask/bound work amortizes across a burst. */
+    static constexpr unsigned addrWindowSize = 32;
+
     /** Arrange for issueOne() to run at the next allowed issue slot. */
     void scheduleIssue();
 
     /** Try to issue a single request; reschedules itself while the
      *  port is running and has work. */
     void issueOne();
+
+    /** Pop the next generated address, refilling the window when it
+     *  runs dry (RNG consumed in the same order as per-call next()). */
+    Addr
+    nextAddress()
+    {
+        if (addrWindowPos == addrWindowSize) {
+            addrGen.fill(addrWindow, addrWindowSize);
+            addrWindowPos = 0;
+        }
+        return addrWindow[addrWindowPos++];
+    }
+
+    /** Drain the buffered latency batches and deferred completion
+     *  counters into _stats (see stats()). */
+    void flushLatencyBatches() const;
+    void flushReadBatch() const;
+    void flushWriteBatch() const;
 
     Packet makePacket(Command cmd, Addr addr);
 
@@ -183,7 +225,28 @@ class GupsPort
     Tick nextIssueAllowed = 0;
     std::uint64_t generatedOps = 0;
     std::uint64_t nextPacketId;
-    GupsPortStats _stats;
+
+    // Hoisted per-packet constants (constructor): link selection and
+    // the per-completion byte costs, which are fixed by the port's
+    // mix and request size, so the response path adds n * constant at
+    // flush time instead of recomputing per packet.
+    std::uint8_t linkId = 0;
+    Bytes readTransactionBytes = 0;
+    Bytes readPayload = 0;
+    Bytes writeTransactionBytes = 0;
+    Bytes writePayload = 0;
+
+    /** Pre-generated issue addresses (nextAddress). */
+    Addr addrWindow[addrWindowSize];
+    unsigned addrWindowPos = addrWindowSize;
+
+    // Tick-domain latency buffers; mutable so the const stats()
+    // accessor can drain them (logically the stats are unchanged --
+    // flushing only materializes values the per-sample path would
+    // already hold).
+    mutable TickLatencyBatch readBatch;
+    mutable TickLatencyBatch writeBatch;
+    mutable GupsPortStats _stats;
 };
 
 } // namespace hmcsim

@@ -66,13 +66,37 @@ AddressMapper::AddressMapper(const HmcConfig &cfg, MaxBlockSize max_block,
         _rowShift = _bankShift;
         break;
     }
+    buildPlan();
+}
+
+void
+AddressMapper::buildPlan()
+{
+    _addrMask = addressMask();
+    _vaultFieldMask = cfg.numVaults - 1;
+    _bankFieldMask = cfg.banksPerVault() - 1;
+    _blockMask = _maxBlock - 1;
+    _blockShift = static_cast<unsigned>(std::countr_zero(_maxBlock));
+    _bankLocalMask = (Addr(1) << _bankShift) - 1;
+    _contiguous = _scheme == MappingScheme::ContiguousVault;
+
+    _quadDiv = cfg.vaultsPerQuadrant();
+    _quadPow2 = std::has_single_bit(std::uint64_t{_quadDiv});
+    if (_quadPow2)
+        _quadShift = static_cast<unsigned>(std::countr_zero(
+            std::uint64_t{_quadDiv}));
+
+    _rowPow2 = std::has_single_bit(std::uint64_t{rowBytes});
+    if (_rowPow2) {
+        _rowByteShift = static_cast<unsigned>(std::countr_zero(
+            std::uint64_t{rowBytes}));
+        _rowByteMask = rowBytes - 1;
+    }
 }
 
 DecodedAddress
-AddressMapper::decode(Addr addr) const
+AddressMapper::decodeReference(Addr addr) const
 {
-    // The request header carries 34 bits; bits above the implemented
-    // capacity are ignored (Sec. II-C).
     addr &= addressMask();
 
     DecodedAddress d;

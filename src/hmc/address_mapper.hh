@@ -88,8 +88,55 @@ class AddressMapper
                   Bytes row_bytes = 256,
                   MappingScheme scheme = MappingScheme::VaultFirst);
 
-    /** Decode a cube address into its structural coordinates. */
-    DecodedAddress decode(Addr addr) const;
+    /**
+     * Decode a cube address into its structural coordinates.
+     *
+     * This is the hot per-request path: every field extraction runs
+     * off the plan precompiled by the constructor (shift/mask tables,
+     * see buildPlan), so no division or modulo survives at decode
+     * time for power-of-two geometries. decodeReference() keeps the
+     * textbook div/mod formulation for differential testing.
+     */
+    DecodedAddress
+    decode(Addr addr) const
+    {
+        // The request header carries 34 bits; bits above the
+        // implemented capacity are ignored (Sec. II-C).
+        addr &= _addrMask;
+
+        DecodedAddress d;
+        d.vault = static_cast<std::uint8_t>((addr >> _vaultShift) &
+                                            _vaultFieldMask);
+        d.bank = static_cast<std::uint8_t>((addr >> _bankShift) &
+                                           _bankFieldMask);
+        d.quadrant = _quadPow2
+                         ? static_cast<std::uint8_t>(d.vault >> _quadShift)
+                         : static_cast<std::uint8_t>(d.vault / _quadDiv);
+
+        // Byte address local to the (vault, bank). Interleaved
+        // schemes concatenate the group and in-block fields; the
+        // block size is always a power of two, so the multiply-add
+        // is a shift-or.
+        const Addr bank_local =
+            _contiguous ? (addr & _bankLocalMask)
+                        : (((addr >> _rowShift) << _blockShift) |
+                           (addr & _blockMask));
+        if (_rowPow2) {
+            d.row = static_cast<std::uint32_t>(bank_local >> _rowByteShift);
+            d.column = static_cast<std::uint32_t>(bank_local & _rowByteMask);
+        } else {
+            d.row = static_cast<std::uint32_t>(bank_local / rowBytes);
+            d.column = static_cast<std::uint32_t>(bank_local % rowBytes);
+        }
+        return d;
+    }
+
+    /**
+     * Reference decode: the pre-plan div/mod formulation, kept so the
+     * randomized differential test can assert the precompiled plan is
+     * bit-identical across schemes, block sizes, and row sizes.
+     */
+    DecodedAddress decodeReference(Addr addr) const;
 
     /** First bit of the vault field (4 + block offset bits). */
     unsigned vaultShift() const { return _vaultShift; }
@@ -126,6 +173,9 @@ class AddressMapper
     unsigned regionVaultSpan(Addr base, Bytes length) const;
 
   private:
+    /** Reduce the decode arithmetic to shift/mask tables. */
+    void buildPlan();
+
     HmcConfig cfg;
     Bytes _maxBlock;
     Bytes rowBytes;
@@ -136,6 +186,23 @@ class AddressMapper
     unsigned _bankShift;
     unsigned _bankBits;
     unsigned _rowShift;
+
+    // Precompiled decode plan (buildPlan). Power-of-two geometries --
+    // every Table I device -- decode with shifts and masks only; the
+    // div/mod fallbacks cover exotic row sizes or quadrant counts.
+    Addr _addrMask = 0;
+    Addr _vaultFieldMask = 0;
+    Addr _bankFieldMask = 0;
+    Addr _blockMask = 0;
+    Addr _bankLocalMask = 0;
+    Addr _rowByteMask = 0;
+    unsigned _blockShift = 0;
+    unsigned _quadShift = 0;
+    unsigned _quadDiv = 1;
+    unsigned _rowByteShift = 0;
+    bool _quadPow2 = false;
+    bool _rowPow2 = false;
+    bool _contiguous = false;
 };
 
 } // namespace hmcsim

@@ -13,7 +13,11 @@ namespace hmcsim
 HmcController::HmcController(const ControllerCalibration &cal,
                              EventQueue &queue, HmcDevice &device,
                              DeliverFn deliver)
-    : cal(cal), queue(queue), device(device), deliver(std::move(deliver))
+    : cal(cal),
+      txFixedLat(cal.txFixedLatency()),
+      rxFixedLat(cal.rxFixedLatency()),
+      rxPerFlitTicks(cal.rxPerFlit),
+      queue(queue), device(device), deliver(std::move(deliver))
 {
     const LinkConfig tx_cfg = cal.txLinkConfig();
     const LinkConfig rx_cfg = cal.rxLinkConfig();
@@ -69,7 +73,7 @@ HmcController::startTransmit(Packet *pkt)
     const unsigned link = pkt->link;
 
     // Fixed TX pipeline, then serialization on the shared wire.
-    const Tick tx_start = queue.now() + cal.txFixedLatency();
+    const Tick tx_start = queue.now() + txFixedLat;
     pkt->tLinkTx = tx_start;
     _stats.txWireBytes += txLinks[link]->wireBytes(pkt->reqBytes());
     const Tick arrive = txLinks[link]->transmit(tx_start, pkt->reqBytes());
@@ -86,8 +90,8 @@ HmcController::startTransmit(Packet *pkt)
                 rxLinks[rx_link]->wireBytes(pkt->respBytes());
             const Tick at_fpga =
                 rxLinks[rx_link]->transmit(queue.now(), pkt->respBytes());
-            const Tick delivered = at_fpga + cal.rxFixedLatency() +
-                                   cal.rxPerFlit * pkt->respFlits();
+            const Tick delivered = at_fpga + rxFixedLat +
+                                   rxPerFlitTicks * pkt->respFlits();
             queue.schedule(delivered, [this, pkt] {
                 pkt->tResponse = queue.now();
                 ++_stats.responsesDelivered;

@@ -113,6 +113,12 @@ class HmcController
     void startTransmit(Packet *pkt);
 
     ControllerCalibration cal;
+    /** Hoisted per-packet pipeline constants: the calibration's fixed
+     *  TX/RX latencies are cycle-count x cycle-time products that the
+     *  hot handlers would otherwise recompute per packet. */
+    Tick txFixedLat = 0;
+    Tick rxFixedLat = 0;
+    Tick rxPerFlitTicks = 0;
     EventQueue &queue;
     HmcDevice &device;
     DeliverFn deliver;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -42,15 +43,32 @@ LinkDirection::LinkDirection(const LinkConfig &cfg, Tick propagation_delay,
 {
 }
 
+double
+LinkDirection::errorProbability(Bytes packet_bytes)
+{
+    if (packet_bytes >= errorProbBySize.size())
+        errorProbBySize.resize(packet_bytes + 1,
+                               std::numeric_limits<double>::quiet_NaN());
+    double &slot = errorProbBySize[packet_bytes];
+    if (std::isnan(slot)) {
+        // Probability any of the packet's bits flips. Computed with
+        // exactly the expression the per-packet path used, so cached
+        // and uncached values are bit-identical.
+        const double bits =
+            static_cast<double>(wireBytes(packet_bytes)) * 8.0;
+        slot = 1.0 - std::pow(1.0 - cfg.bitErrorRate, bits);
+    }
+    return slot;
+}
+
 bool
 LinkDirection::corrupted(Bytes packet_bytes)
 {
+    // Error-free links skip the cache and the RNG entirely, exactly
+    // like the pre-cache fast path.
     if (cfg.bitErrorRate <= 0.0)
         return false;
-    // Probability any of the packet's bits flips.
-    const double bits = static_cast<double>(wireBytes(packet_bytes)) * 8.0;
-    const double p_err = 1.0 - std::pow(1.0 - cfg.bitErrorRate, bits);
-    return rng.nextDouble() < p_err;
+    return rng.nextDouble() < errorProbability(packet_bytes);
 }
 
 Tick

@@ -18,6 +18,7 @@
 #define HMCSIM_LINK_LINK_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -164,12 +165,21 @@ class LinkDirection
     /** True when this transmission attempt is corrupted. */
     bool corrupted(Bytes packet_bytes);
 
+    /** Corruption probability of a @p packet_bytes packet, computed
+     *  once per distinct size and cached (it depends only on the bit
+     *  count and the configured BER). */
+    double errorProbability(Bytes packet_bytes);
+
     LinkConfig cfg;
     ThroughputRegulator wire;
     Tick propagation;
     Bytes overhead;
     Xoshiro256StarStar rng;
     std::uint64_t numRetries = 0;
+    /** p_err cache indexed by packet size; NaN = not yet computed.
+     *  Packets are at most 17 flits (~272 B), so the vector stays
+     *  tiny and is only populated when bitErrorRate > 0. */
+    std::vector<double> errorProbBySize;
 };
 
 } // namespace hmcsim

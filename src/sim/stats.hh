@@ -6,6 +6,8 @@
 #ifndef HMCSIM_SIM_STATS_HH
 #define HMCSIM_SIM_STATS_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -15,6 +17,8 @@
 
 namespace hmcsim
 {
+
+class TickLatencyBatch;
 
 /**
  * Running sample statistics: count, sum, min, max, mean, variance.
@@ -37,6 +41,20 @@ class SampleStats
         welfordMean += delta / static_cast<double>(_count);
         welfordM2 += delta * (value - welfordMean);
     }
+
+    /**
+     * Record a chunk of samples at once.
+     *
+     * count, sum, min, and max are updated by the same sequential
+     * operations sample() performs, in array order, so those fields
+     * -- and therefore mean() -- are bit-identical to calling
+     * sample() per element. The variance accumulator is folded in
+     * per chunk with the same Chan et al. combination merge() uses
+     * (numerically equivalent to per-sample Welford, not
+     * bit-identical); variance() is not part of any digest or
+     * structured-output contract (docs/performance.md).
+     */
+    void sampleBatch(const double *values, std::size_t n);
 
     /** Merge another accumulator into this one. */
     void merge(const SampleStats &other);
@@ -103,6 +121,12 @@ class SampleStats
     }
 
   private:
+    friend class TickLatencyBatch;
+
+    /** Fold one chunk's mean/M2 into the variance accumulators and
+     *  advance the count (shared by sampleBatch and the tick flush). */
+    void combineChunk(const double *values, std::size_t n);
+
     std::uint64_t _count = 0;
     double _sum = 0.0;
     double _min = std::numeric_limits<double>::infinity();
@@ -142,6 +166,12 @@ class Histogram
     double quantile(double p) const;
 
   private:
+    friend class TickLatencyBatch;
+
+    /** Precompute the integer tick-domain binning plan (see
+     *  TickLatencyBatch::flushInto). */
+    void buildTickPlan();
+
     double lo;
     double hi;
     double width;
@@ -149,6 +179,79 @@ class Histogram
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
     std::uint64_t total = 0;
+    /** Bin width in ticks when the integer plan applies, else 0. */
+    std::uint64_t tickBinTicks = 0;
+    /** floor(2^64 / tickBinTicks) + 1: rounded-up reciprocal for
+     *  dividing ticks by the bin width with a single multiply-high
+     *  instead of a hardware divide; buildTickPlan() proves it exact
+     *  for every in-range tick before enabling the plan. */
+    std::uint64_t tickBinMagic = 0;
+    /** tickBinTicks * numBins: first overflowing tick. */
+    std::uint64_t tickOverflowTicks = 0;
+    /** True when bin(t) = t / tickBinTicks is provably bit-identical
+     *  to the floating-point sample() path for every tick value. */
+    bool tickPlan = false;
+};
+
+/**
+ * Fixed-capacity buffer of latency samples kept in the integer tick
+ * domain, drained in one fused pass (TickLatencyBatch::flushInto).
+ *
+ * The hot per-response path used to convert ticks to ns and run two
+ * double-precision Welford updates plus a histogram probe per sample;
+ * buffering the raw ticks amortizes that to one tight loop per 256
+ * responses with every digest-observable statistic bit-identical to
+ * the per-sample path (docs/performance.md):
+ *
+ *  - sum: the ns values are accumulated with the same sequential
+ *    additions in the same order, so sum (and mean = sum/count) is
+ *    bit-identical.
+ *  - min/max: computed over the integer ticks, then converted once;
+ *    ticksToNs is monotone, so the results match the per-sample
+ *    comparisons exactly.
+ *  - histogram: when the histogram's tick plan applies (bin width an
+ *    exact multiple of 125 ps, range starting at 0), bin(t) =
+ *    t / widthTicks is provably equal to the floating-point binning
+ *    for every tick, including exact bin boundaries; otherwise the
+ *    flush falls back to the per-sample floating-point probe.
+ *  - variance: folded per chunk via SampleStats::combineChunk (not
+ *    digest-observable; see sampleBatch).
+ *
+ * No heap allocation anywhere: the buffer is inline and the flush
+ * scratch is stack-resident (tests/test_stats_batch.cc enforces it
+ * with counting operator new).
+ */
+class TickLatencyBatch
+{
+  public:
+    /** Buffer capacity in samples (2 KB of ticks). */
+    static constexpr std::size_t capacity = 256;
+
+    /** Append one latency sample in ticks.
+     *  @return true when the buffer is now full and must be flushed. */
+    bool
+    push(Tick latency_ticks)
+    {
+        buf[n++] = latency_ticks;
+        return n == capacity;
+    }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    /** Drop buffered samples without accumulating them (stat reset). */
+    void clear() { n = 0; }
+
+    /**
+     * Drain the buffer into @p stats (in nanoseconds) and, when
+     * non-null, @p hist, leaving the buffer empty. See the class
+     * comment for the bit-identity contract.
+     */
+    void flushInto(SampleStats &stats, Histogram *hist = nullptr);
+
+  private:
+    std::array<Tick, capacity> buf;
+    std::size_t n = 0;
 };
 
 /**
