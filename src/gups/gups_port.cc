@@ -1,3 +1,4 @@
+// lint:file(hot-path) -- event-core file: allocation-free callables (no std::function) and HMCSIM_DCHECK-only invariants, enforced by hmcsim-lint.
 #include "gups/gups_port.hh"
 
 #include <memory>
@@ -278,6 +279,9 @@ GupsPort::onResponse(const Packet &pkt)
     switch (pkt.cmd) {
       case Command::Read:
       case Command::Atomic:
+        // Protocol boundary reachable from device bugs: a stray
+        // response must abort in release too (docs/correctness.md).
+        // lint:allow(hot-check)
         HMCSIM_CHECK(outstandingReads > 0,
                      "stray read response (port %u, packet id %llu)",
                      portId, static_cast<unsigned long long>(pkt.id));
@@ -289,6 +293,8 @@ GupsPort::onResponse(const Packet &pkt)
             pendingRmwWrites.push_back(pkt.addr);
         break;
       case Command::Write:
+        // Same protocol boundary as the read-response check above.
+        // lint:allow(hot-check)
         HMCSIM_CHECK(outstandingWrites > 0,
                      "stray write response (port %u, packet id %llu)",
                      portId, static_cast<unsigned long long>(pkt.id));

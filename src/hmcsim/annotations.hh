@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotations and annotated lock
+ * primitives.
+ *
+ * The platform's concurrency contract -- parallel sweeps bit-identical
+ * to serial, no data races under any --jobs count -- is enforced at
+ * runtime by TSan and the determinism self-check. This header moves
+ * the lock-discipline half of that contract to compile time: every
+ * shared-state surface (ThreadPool queues, ResultCache, the logging
+ * sink) declares which mutex guards which member, and Clang's
+ * -Wthread-safety analysis rejects any access that does not hold the
+ * right capability. Build with -DHMCSIM_THREAD_SAFETY=ON under Clang
+ * (the CI `thread-safety` job does); every other compiler sees
+ * no-op macros and identical codegen.
+ *
+ * Use the wrapped primitives, not raw std::mutex, for any mutex the
+ * analysis should track: libstdc++'s std::mutex/std::lock_guard carry
+ * no capability attributes, so the analysis cannot see their
+ * acquire/release. hmcsim::Mutex and hmcsim::MutexLock are inline
+ * zero-cost forwarders with the attributes attached.
+ *
+ * Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ * (the macro set below follows the names proposed there).
+ */
+
+#ifndef HMCSIM_HMCSIM_ANNOTATIONS_HH
+#define HMCSIM_HMCSIM_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HMCSIM_TSA(x) __attribute__((x))
+#else
+#define HMCSIM_TSA(x) // no-op off Clang
+#endif
+
+/** Type is a lockable capability (mutexes, roles). */
+#define CAPABILITY(x) HMCSIM_TSA(capability(x))
+
+/** RAII type that acquires in its ctor and releases in its dtor. */
+#define SCOPED_CAPABILITY HMCSIM_TSA(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define GUARDED_BY(x) HMCSIM_TSA(guarded_by(x))
+
+/** Pointed-to data guarded by @p x (the pointer itself is not). */
+#define PT_GUARDED_BY(x) HMCSIM_TSA(pt_guarded_by(x))
+
+/** Caller must hold the listed capabilities exclusively. */
+#define REQUIRES(...) HMCSIM_TSA(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the listed capabilities at least shared. */
+#define REQUIRES_SHARED(...)                                              \
+    HMCSIM_TSA(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability and does not release it. */
+#define ACQUIRE(...) HMCSIM_TSA(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability (must be held on entry). */
+#define RELEASE(...) HMCSIM_TSA(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p ret. */
+#define TRY_ACQUIRE(ret, ...)                                             \
+    HMCSIM_TSA(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define EXCLUDES(...) HMCSIM_TSA(locks_excluded(__VA_ARGS__))
+
+/** Declares that the capability is held (runtime-checked claims). */
+#define ASSERT_CAPABILITY(x) HMCSIM_TSA(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define RETURN_CAPABILITY(x) HMCSIM_TSA(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. */
+#define NO_THREAD_SAFETY_ANALYSIS HMCSIM_TSA(no_thread_safety_analysis)
+
+namespace hmcsim
+{
+
+/**
+ * std::mutex with capability attributes: same cost (the calls are
+ * inline forwarders), but Clang can prove which members each lock
+ * protects. Use with MutexLock and GUARDED_BY.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { m.lock(); }
+    void unlock() RELEASE() { m.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m.try_lock(); }
+
+  private:
+    /** The wrapped lock itself is the capability; there is no member
+     *  to annotate against it. */
+    std::mutex m; // lint:allow(mutex-unguarded)
+};
+
+/**
+ * RAII guard over Mutex (the std::lock_guard shape, annotated). The
+ * pattern follows the scoped-capability example in the Clang docs:
+ * the constructor is annotated ACQUIRE and performs the lock, the
+ * destructor is annotated RELEASE.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : m(mutex)
+    {
+        m.lock();
+    }
+
+    ~MutexLock() RELEASE() { m.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m;
+};
+
+/**
+ * Condition variable usable with hmcsim::Mutex. Built on
+ * std::condition_variable_any, which accepts any BasicLockable --
+ * only ever used on sleep/wake paths (the ThreadPool idle loop),
+ * where the small constant overhead over std::condition_variable is
+ * irrelevant.
+ */
+class CondVar
+{
+  public:
+    /**
+     * Atomically release @p mutex, sleep until @p pred holds, and
+     * reacquire. Caller must hold @p mutex (checked by the analysis).
+     */
+    template <typename Pred>
+    void
+    wait(Mutex &mutex, Pred pred) REQUIRES(mutex)
+    {
+        cv.wait(mutex, pred);
+    }
+
+    void notify_one() { cv.notify_one(); }
+    void notify_all() { cv.notify_all(); }
+
+  private:
+    std::condition_variable_any cv;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_HMCSIM_ANNOTATIONS_HH

@@ -1,3 +1,4 @@
+// lint:file(hot-path) -- event-core file: allocation-free callables (no std::function) and HMCSIM_DCHECK-only invariants, enforced by hmcsim-lint.
 /**
  * @file
  * Free-list pool for in-flight packets.

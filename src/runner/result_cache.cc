@@ -1,3 +1,4 @@
+// lint:file(persistence) -- on-disk results must round-trip bit-exactly: %a hexfloat only, enforced by hmcsim-lint.
 #include "runner/result_cache.hh"
 
 #include <cstdio>
@@ -134,7 +135,7 @@ ResultCache::insertLocked(std::uint64_t key, const CachedResult &value)
 std::optional<CachedResult>
 ResultCache::lookup(std::uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     const auto it = entries.find(key);
     if (it != entries.end()) {
         lru.erase(it->second.lruIt);
@@ -164,7 +165,7 @@ ResultCache::lookup(std::uint64_t key)
 void
 ResultCache::store(std::uint64_t key, const CachedResult &value)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     insertLocked(key, value);
     if (dir.empty())
         return;
@@ -183,21 +184,21 @@ ResultCache::store(std::uint64_t key, const CachedResult &value)
 std::uint64_t
 ResultCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return numHits;
 }
 
 std::uint64_t
 ResultCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return numMisses;
 }
 
 std::size_t
 ResultCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return entries.size();
 }
 

@@ -24,11 +24,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "hmcsim/annotations.hh"
 #include "host/experiment.hh"
 
 namespace hmcsim
@@ -75,7 +75,8 @@ class ResultCache
     deserialize(const std::string &text);
 
   private:
-    void insertLocked(std::uint64_t key, const CachedResult &value);
+    void insertLocked(std::uint64_t key, const CachedResult &value)
+        REQUIRES(mutex);
     std::string pathFor(std::uint64_t key) const;
 
     struct Entry
@@ -84,14 +85,15 @@ class ResultCache
         std::list<std::uint64_t>::iterator lruIt;
     };
 
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
+    /** Immutable after construction; safe to read without the lock. */
     std::string dir;
     std::size_t maxEntries;
-    std::unordered_map<std::uint64_t, Entry> entries;
+    std::unordered_map<std::uint64_t, Entry> entries GUARDED_BY(mutex);
     /** Front = most recently used. */
-    std::list<std::uint64_t> lru;
-    std::uint64_t numHits = 0;
-    std::uint64_t numMisses = 0;
+    std::list<std::uint64_t> lru GUARDED_BY(mutex);
+    std::uint64_t numHits GUARDED_BY(mutex) = 0;
+    std::uint64_t numMisses GUARDED_BY(mutex) = 0;
 };
 
 } // namespace hmcsim

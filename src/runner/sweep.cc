@@ -1,11 +1,11 @@
 #include "runner/sweep.hh"
 
-#include <chrono>
 #include <utility>
 
 #include "runner/config_digest.hh"
 #include "runner/thread_pool.hh"
 #include "sim/random.hh"
+#include "sim/wallclock.hh"
 
 namespace hmcsim
 {
@@ -97,13 +97,14 @@ SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg) const
         run_opts.trace.sink = &buffer;
     }
 
-    const auto start = std::chrono::steady_clock::now();
+    // Host-time metadata only (excluded from the determinism
+    // contract); the shim keeps the nondeterminism lint rule's
+    // allowlist to one file.
+    const WallClockSample start = wallClockNow();
     RunArtifacts artifacts;
     point.result = runExperiment(cfg, run_opts, &artifacts);
     point.statDigest = artifacts.statDigest;
-    const auto stop = std::chrono::steady_clock::now();
-    point.wallMs =
-        std::chrono::duration<double, std::milli>(stop - start).count();
+    point.wallMs = wallMsBetween(start, wallClockNow());
     if (tracing)
         point.traceJson = buffer.takeEvents();
 

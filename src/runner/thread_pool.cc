@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool()
     {
         // Publish the stop flag under the sleep mutex so no worker can
         // check it, decide to wait, and then miss the notify.
-        std::lock_guard<std::mutex> lock(sleepMutex);
+        MutexLock lock(sleepMutex);
         stopping.store(true);
     }
     wake.notify_all();
@@ -39,14 +39,14 @@ ThreadPool::~ThreadPool()
 std::future<void>
 ThreadPool::submit(Task task)
 {
-    auto packaged =
+    const auto packaged =
         std::make_shared<std::packaged_task<void()>>(std::move(task));
     std::future<void> future = packaged->get_future();
 
     const unsigned slot =
         nextQueue.fetch_add(1, std::memory_order_relaxed) % numWorkers();
     {
-        std::lock_guard<std::mutex> lock(queues[slot]->mutex);
+        MutexLock lock(queues[slot]->mutex);
         queues[slot]->tasks.emplace_back(
             [packaged] { (*packaged)(); });
     }
@@ -61,7 +61,7 @@ ThreadPool::tryRunOne(unsigned self)
     Task task;
     {
         // Own work first, newest-first.
-        std::lock_guard<std::mutex> lock(queues[self]->mutex);
+        MutexLock lock(queues[self]->mutex);
         if (!queues[self]->tasks.empty()) {
             task = std::move(queues[self]->tasks.back());
             queues[self]->tasks.pop_back();
@@ -72,7 +72,7 @@ ThreadPool::tryRunOne(unsigned self)
         const unsigned n = numWorkers();
         for (unsigned off = 1; off < n && !task; ++off) {
             WorkerQueue &victim = *queues[(self + off) % n];
-            std::lock_guard<std::mutex> lock(victim.mutex);
+            MutexLock lock(victim.mutex);
             if (!victim.tasks.empty()) {
                 task = std::move(victim.tasks.front());
                 victim.tasks.pop_front();
@@ -93,10 +93,10 @@ ThreadPool::workerLoop(unsigned self)
     while (true) {
         if (tryRunOne(self))
             continue;
-        std::unique_lock<std::mutex> lock(sleepMutex);
+        MutexLock lock(sleepMutex);
         if (stopping.load() && pending.load() == 0)
             return;
-        wake.wait(lock, [this] {
+        wake.wait(sleepMutex, [this] {
             return stopping.load() || pending.load() > 0;
         });
         if (stopping.load() && pending.load() == 0)

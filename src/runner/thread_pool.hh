@@ -20,14 +20,14 @@
 #define HMCSIM_RUNNER_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "hmcsim/annotations.hh"
 
 namespace hmcsim
 {
@@ -74,8 +74,8 @@ class ThreadPool
     /** One worker's deque; stealable by every other worker. */
     struct WorkerQueue
     {
-        std::mutex mutex;
-        std::deque<Task> tasks;
+        Mutex mutex;
+        std::deque<Task> tasks GUARDED_BY(mutex);
     };
 
     void workerLoop(unsigned self);
@@ -90,8 +90,12 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkerQueue>> queues;
     std::vector<std::thread> workers;
 
-    std::mutex sleepMutex;
-    std::condition_variable wake;
+    /** Serializes only the sleep/wake handshake: the data the idle
+     *  predicate reads (pending, stopping) is atomic, so no member is
+     *  GUARDED_BY this mutex -- it exists to close the check-then-
+     *  sleep race against notify. */
+    Mutex sleepMutex; // lint:allow(mutex-unguarded)
+    CondVar wake;
     /** Tasks submitted but not yet taken by a worker. */
     std::atomic<std::size_t> pending{0};
     std::atomic<bool> stopping{false};

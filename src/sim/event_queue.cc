@@ -1,3 +1,4 @@
+// lint:file(hot-path) -- event-core file: allocation-free callables (no std::function) and HMCSIM_DCHECK-only invariants, enforced by hmcsim-lint.
 #include "sim/event_queue.hh"
 
 #include <algorithm>
@@ -34,6 +35,10 @@ EventQueue::EventQueue() : buckets(numBuckets) {}
 void
 EventQueue::schedule(Tick when, Event ev)
 {
+    // Stays a release-build check: a past-tick schedule means the
+    // calendar is already corrupt, and the cost was audited into the
+    // PR-4 event-core budget (docs/performance.md).
+    // lint:allow(hot-check)
     HMCSIM_CHECK(when >= _now,
                  "scheduling event in the past (when=%llu now=%llu)",
                  static_cast<unsigned long long>(when),
@@ -292,6 +297,8 @@ EventQueue::runToCompletion()
 void
 EventQueue::setCheckers(CheckerRegistry *registry, std::uint64_t every_n)
 {
+    // Config-time API validation, not per-event work.
+    // lint:allow(hot-check)
     HMCSIM_CHECK(every_n > 0, "checker interval must be non-zero");
     checkerRegistry = registry;
     checkEveryN = every_n;

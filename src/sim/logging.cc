@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "hmcsim/annotations.hh"
 
 namespace hmcsim
 {
@@ -15,14 +16,16 @@ std::atomic<bool> informEnabled{true};
 /**
  * Serializes the tag/message/newline triple so concurrent sweep
  * workers (one simulator per thread, see host/ac510.hh) never
- * interleave fragments of two reports on stderr.
+ * interleave fragments of two reports on stderr. It guards the
+ * process-wide stderr stream, not a member, so no GUARDED_BY can
+ * name the protected state.
  */
-std::mutex reportMutex;
+Mutex reportMutex; // lint:allow(mutex-unguarded)
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::lock_guard<std::mutex> lock(reportMutex);
+    MutexLock lock(reportMutex);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");

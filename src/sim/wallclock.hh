@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The one allowlisted wall-clock source in the model tree.
+ *
+ * Simulated behavior must never observe host time: every latency,
+ * bandwidth, and digest is a pure function of the configuration and
+ * seed. Host time is still legitimate for *metadata* -- the wallMs
+ * column a sweep reports, cache-provenance timing -- which is opt-in
+ * per sink and explicitly excluded from the determinism contract
+ * (docs/runner.md). All such uses go through this shim:
+ * `hmcsim-lint`'s `nondeterminism` rule forbids raw clock calls
+ * anywhere else under src/, so a reviewer can audit every host-time
+ * consumer by grepping for wallClockNow().
+ */
+
+#ifndef HMCSIM_SIM_WALLCLOCK_HH
+#define HMCSIM_SIM_WALLCLOCK_HH
+
+#include <chrono>
+
+namespace hmcsim
+{
+
+/** Opaque host-time sample; only useful to difference. */
+using WallClockSample = std::chrono::steady_clock::time_point;
+
+/** Sample the host's monotonic clock (timing metadata only). */
+inline WallClockSample
+wallClockNow()
+{
+    return std::chrono::steady_clock::now();
+}
+
+/** Milliseconds elapsed between two samples. */
+inline double
+wallMsBetween(WallClockSample start, WallClockSample stop)
+{
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SIM_WALLCLOCK_HH

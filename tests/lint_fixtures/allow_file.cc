@@ -1,0 +1,9 @@
+// lint:allow-file(nondeterminism) -- fixture exercises the whole-file
+// suppression form (the shape the built-in shim allowlist takes).
+#include <cstdlib>
+
+int
+noisy()
+{
+    return rand();
+}

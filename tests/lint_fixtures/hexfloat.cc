@@ -1,0 +1,11 @@
+// lint:file(persistence)
+// Seeded violation for `hexfloat-persistence`: decimal float
+// formatting in a persistence file. The %a line below must NOT fire.
+#include <cstdio>
+
+void
+persist(char *buf, unsigned long n, double v)
+{
+    std::snprintf(buf, n, "%.17g", v);
+    std::snprintf(buf, n, "%a", v);
+}

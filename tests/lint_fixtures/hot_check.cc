@@ -1,0 +1,11 @@
+// lint:file(hot-path)
+// Seeded violation for `hot-check`: a release-build check in a file
+// tagged event-hot (should be HMCSIM_DCHECK).
+#include "sim/check.hh"
+
+void
+step(int occupancy, int depth)
+{
+    HMCSIM_CHECK(occupancy <= depth, "queue over depth");
+    HMCSIM_DCHECK(occupancy >= 0, "negative occupancy");
+}

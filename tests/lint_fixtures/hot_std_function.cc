@@ -1,0 +1,6 @@
+// lint:file(hot-path)
+// Seeded violation for `hot-std-function`: a heap-allocating callable
+// in a file tagged event-hot.
+#include <functional>
+
+std::function<void()> deferred;

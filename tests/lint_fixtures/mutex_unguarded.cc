@@ -1,0 +1,10 @@
+// Seeded violation for `mutex-unguarded`: `naked` protects nothing
+// the analysis can see; `mutex` (annotated member below) is fine.
+#include "hmcsim/annotations.hh"
+
+class Shared
+{
+    hmcsim::Mutex mutex;
+    int value GUARDED_BY(mutex) = 0;
+    std::mutex naked;
+};

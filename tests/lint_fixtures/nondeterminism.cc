@@ -1,0 +1,15 @@
+// Seeded violations for the `nondeterminism` rule: hardware entropy,
+// hidden-global rand(), and a host clock read, one per line.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned long
+entropy()
+{
+    std::random_device rd;
+    unsigned long bits = rd() ^ static_cast<unsigned long>(rand());
+    const auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return bits;
+}

@@ -1,0 +1,9 @@
+// Seeded violation for `pointer-keyed-order`: a std::map sorted by
+// object address -- deterministic-looking, ASLR-ordered in truth.
+#include <map>
+#include <set>
+
+struct Vault;
+
+std::map<Vault *, int> occupancy;
+std::set<const Vault *> visited;

@@ -1,0 +1,17 @@
+// Suppression forms: same-line lint:allow and comment-above
+// lint:allow. Every seeded violation below is excused, so this
+// fixture must produce zero findings.
+#include <cstdlib>
+
+int
+sameLine()
+{
+    return rand(); // lint:allow(nondeterminism) fixture exercises same-line form
+}
+
+int
+commentAbove()
+{
+    // lint:allow(nondeterminism) fixture exercises comment-above form
+    return rand();
+}

@@ -1,0 +1,14 @@
+// Seeded violation for `unordered-iteration`: range-for over an
+// unordered_map feeding an accumulator (digest-order hazard).
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t
+sumAll(const std::unordered_map<std::uint64_t, std::uint64_t> &)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    std::uint64_t sum = 0;
+    for (const auto &kv : counts)
+        sum += kv.second;
+    return sum;
+}

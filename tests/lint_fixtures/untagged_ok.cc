@@ -1,0 +1,16 @@
+// Tag gating: std::function and HMCSIM_CHECK are fine in a file NOT
+// tagged hot-path, and %g is fine outside persistence files. This
+// fixture must produce zero findings.
+#include <cstdio>
+#include <functional>
+
+#include "sim/check.hh"
+
+std::function<void()> callback;
+
+void
+report(char *buf, unsigned long n, double v)
+{
+    HMCSIM_CHECK(n > 0, "empty buffer");
+    std::snprintf(buf, n, "%g", v);
+}

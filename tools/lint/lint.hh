@@ -1,0 +1,113 @@
+/**
+ * @file
+ * hmcsim-lint: a token/regex-level rule engine for the repo's domain
+ * rules -- the determinism and hot-path disciplines no off-the-shelf
+ * analyzer knows about (docs/correctness.md, "Static analysis").
+ *
+ * The engine scrubs each source file (comments and string/char
+ * literals blanked, line structure preserved), collects lint pragmas
+ * from the comments, and runs a table of rules over the scrubbed
+ * text. Rules can be gated on a per-file tag so e.g. the hot-path
+ * discipline applies only to event-hot files.
+ *
+ * Pragmas (in comments, anywhere on the line):
+ *   lint:file(<tag>)        Tag the whole file (hot-path, persistence).
+ *   lint:allow(<r1,r2>)     Suppress the named rules on this line; a
+ *                           comment-only line also covers the next
+ *                           line, so suppressions can sit above the
+ *                           code they excuse. Pair with a reason.
+ *   lint:allow-file(<rule>) Suppress the named rule for the file.
+ *
+ * A small built-in allowlist exempts designated shim files (e.g. the
+ * wall-clock shim) from specific rules, so the exemption lives next
+ * to the rule table instead of in the shim.
+ */
+
+#ifndef HMCSIM_TOOLS_LINT_LINT_HH
+#define HMCSIM_TOOLS_LINT_LINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hmcsim::lint
+{
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file;
+    int line = 0; // 1-based
+    std::string rule;
+    std::string message;
+    /** Set by --fix-suggestions formatting from the rule table. */
+    std::string suggestion;
+};
+
+/** One entry of the rule table (listRules() exposes it). */
+struct RuleInfo
+{
+    std::string id;
+    /** Tag gating the rule; empty = applies to every file. */
+    std::string requiresTag;
+    /** What the rule catches. */
+    std::string summary;
+    /** Why the repo forbids it. */
+    std::string rationale;
+    /** How to fix (or how to suppress when intentional). */
+    std::string suggestion;
+};
+
+/** A source file prepared for rule evaluation. */
+struct FileContext
+{
+    std::string path;
+    /** Verbatim lines (for rules that must see string literals). */
+    std::vector<std::string> raw;
+    /** Comment/string-scrubbed lines, same numbering as raw. */
+    std::vector<std::string> code;
+    /** lint:file(...) tags. */
+    std::set<std::string> tags;
+    /** Rules disabled for the whole file. */
+    std::set<std::string> fileAllows;
+    /** line (1-based) -> rules allowed on that line. */
+    std::map<int, std::set<std::string>> lineAllows;
+};
+
+/** The static rule table, in evaluation order. */
+const std::vector<RuleInfo> &listRules();
+
+/**
+ * Scrub @p content and parse pragmas into a FileContext for @p path
+ * (exposed for tests; lintFile calls it internally).
+ */
+FileContext prepareFile(const std::string &path,
+                        const std::string &content);
+
+/** Run every applicable rule over one file's content. */
+std::vector<Finding> lintFile(const std::string &path,
+                              const std::string &content);
+
+/**
+ * Lint @p path (file, or directory walked recursively for
+ * .cc/.hh/.cpp/.h sources). Findings come back sorted by
+ * (file, line, rule). Missing paths produce a synthetic finding
+ * under the pseudo-rule "io-error".
+ */
+std::vector<Finding> lintPath(const std::string &path);
+
+/**
+ * Render findings one per line.
+ * @param machine  `file:line:rule` only (the stable CI/test format).
+ * @param fix_suggestions Append an indented "fix:" line per finding.
+ */
+std::string formatFindings(const std::vector<Finding> &findings,
+                           bool machine, bool fix_suggestions);
+
+/** Human-readable rule table (the --list-rules output). */
+std::string formatRuleTable();
+
+} // namespace hmcsim::lint
+
+#endif // HMCSIM_TOOLS_LINT_LINT_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * hmcsim-lint CLI. Exit status 0 = clean, 1 = findings, 2 = usage.
+ *
+ *   hmcsim-lint [options] <path>...      lint files or directories
+ *   hmcsim-lint --list-rules             print the rule table
+ *
+ * Options:
+ *   --machine           one `file:line:rule` per finding (the stable
+ *                       format CI and the fixture tests parse)
+ *   --fix-suggestions   append a fix hint per finding
+ *
+ * CI runs `hmcsim-lint src` from the repository root on every push;
+ * see docs/correctness.md for the rule table and the suppression
+ * pragmas.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hmcsim::lint;
+
+    bool machine = false;
+    bool fixSuggestions = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--machine") {
+            machine = true;
+        } else if (arg == "--fix-suggestions") {
+            fixSuggestions = true;
+        } else if (arg == "--list-rules") {
+            std::fputs(formatRuleTable().c_str(), stdout);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::fputs(
+                "usage: hmcsim-lint [--machine] [--fix-suggestions] "
+                "<path>...\n"
+                "       hmcsim-lint --list-rules\n",
+                stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "hmcsim-lint: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::fputs("usage: hmcsim-lint [--machine] "
+                   "[--fix-suggestions] <path>...\n",
+                   stderr);
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    for (const std::string &path : paths) {
+        std::vector<Finding> f = lintPath(path);
+        findings.insert(findings.end(), f.begin(), f.end());
+    }
+
+    std::fputs(formatFindings(findings, machine, fixSuggestions).c_str(),
+               stdout);
+    if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "hmcsim-lint: %zu finding%s (see --list-rules "
+                     "for the rule table, docs/correctness.md for "
+                     "suppression pragmas)\n",
+                     findings.size(),
+                     findings.size() == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}
