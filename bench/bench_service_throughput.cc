@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Fleet service throughput: host-side cost of serving an open-loop
+ * request stream across a 16-node fleet (src/service/,
+ * docs/service.md). Not a paper artifact -- this is the bench that
+ * tells a user how many simulated service requests per wall second
+ * the subsystem sustains, and it doubles as the service entry of the
+ * perf-regression harness:
+ *
+ *  - a 16-node, 100k-request MMPP campaign is served serially
+ *    (--jobs 1) and in parallel (hardware concurrency), and the two
+ *    aggregate digests are asserted byte-identical before anything is
+ *    timed (the determinism contract is a precondition of the
+ *    numbers meaning anything);
+ *  - the parallel wall time and requests/sec are appended as a
+ *    "service" section to BENCH_simcore.json (HMCSIM_PERF_JSON
+ *    overrides the path) next to the simcore sections
+ *    bench_simulator_perf.cc writes;
+ *  - with HMCSIM_PERF_GUARD=1 the process fails when the parallel
+ *    fleet run exceeds its wall budget
+ *    (HMCSIM_PERF_SERVICE_BUDGET_MS overrides the default).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hh"
+#include "service/fleet.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+using namespace hmcsim::benchutil;
+
+/** The acceptance-scale campaign: 16 nodes, 100k open-loop requests
+ *  of bursty (MMPP) traffic, keyed routing. */
+FleetConfig
+campaignConfig(unsigned jobs)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 16;
+    cfg.requests = 100000;
+    cfg.arrival.kind = ArrivalKind::Mmpp;
+    cfg.arrival.ratePerSec = 2e7;
+    cfg.arrival.burstRatePerSec = 8e7;
+    cfg.router = RouterPolicy::Keyed;
+    cfg.seed = 2026;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+struct ServiceResults
+{
+    std::uint64_t requests = 0;
+    double serialWallMs = 0.0;
+    double parallelWallMs = 0.0;
+    double aggregateMrps = 0.0;
+    double sojournP50Ns = 0.0;
+    double sojournP99Ns = 0.0;
+    double sojournP999Ns = 0.0;
+    std::uint64_t aggregateDigest = 0;
+
+    double speedup() const { return serialWallMs / parallelWallMs; }
+
+    /** Simulated service requests completed per wall second, on the
+     *  parallel run. */
+    double
+    requestsPerWallSec() const
+    {
+        return static_cast<double>(requests) / (parallelWallMs / 1e3);
+    }
+};
+
+template <typename Fn>
+double
+wallMs(Fn &&run)
+{
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+const ServiceResults &
+results()
+{
+    static const ServiceResults r = [] {
+        ServiceResults out;
+
+        FleetResult serial;
+        out.serialWallMs =
+            wallMs([&] { serial = runFleet(campaignConfig(1)); });
+        FleetResult parallel;
+        out.parallelWallMs =
+            wallMs([&] { parallel = runFleet(campaignConfig(0)); });
+
+        // Byte identity before timing means anything: the parallel
+        // fleet must reproduce the serial one exactly.
+        if (serial.aggregate.digest() != parallel.aggregate.digest())
+            fatal("parallel fleet diverges from the serial run");
+        for (std::size_t n = 0; n < serial.nodes.size(); ++n) {
+            if (serial.nodes[n].digest() != parallel.nodes[n].digest())
+                fatal("node %zu diverges between --jobs 1 and "
+                      "parallel",
+                      n);
+        }
+
+        out.requests = parallel.aggregate.requests;
+        out.aggregateMrps = parallel.aggregate.throughputMrps();
+        out.sojournP50Ns = parallel.aggregate.sojournP50Ns();
+        out.sojournP99Ns = parallel.aggregate.sojournP99Ns();
+        out.sojournP999Ns = parallel.aggregate.sojournP999Ns();
+        out.aggregateDigest = parallel.aggregate.digest();
+        return out;
+    }();
+    return r;
+}
+
+/** Parallel-run wall budget in ms for the perf guard (override with
+ *  HMCSIM_PERF_SERVICE_BUDGET_MS). The campaign takes ~1-2 s on a
+ *  2020s laptop core count; the budget leaves headroom for loaded CI
+ *  runners while still catching an order-of-magnitude regression. */
+double
+serviceBudgetMs()
+{
+    if (const char *env =
+            std::getenv("HMCSIM_PERF_SERVICE_BUDGET_MS")) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+    }
+    return 20000.0;
+}
+
+void
+printFigure()
+{
+    const ServiceResults &r = results();
+    std::printf("\nFleet service throughput (16 nodes, %llu open-loop "
+                "MMPP requests, keyed routing)\n\n",
+                static_cast<unsigned long long>(r.requests));
+    TextTable table({"Run", "Wall ms", "Requests/wall-s"});
+    table.addRow({"--jobs 1", strfmt("%.0f", r.serialWallMs),
+                  strfmt("%.0f", static_cast<double>(r.requests) /
+                                     (r.serialWallMs / 1e3))});
+    table.addRow({"parallel", strfmt("%.0f", r.parallelWallMs),
+                  strfmt("%.0f", r.requestsPerWallSec())});
+    table.print();
+    std::printf("\nParallel speedup %.2fx; aggregate %.2f MRPS "
+                "simulated; sojourn p50/p99/p999 = %.0f/%.0f/%.0f ns; "
+                "aggregate digest %016llx (byte-identical across "
+                "--jobs by construction)\n\n",
+                r.speedup(), r.aggregateMrps, r.sojournP50Ns,
+                r.sojournP99Ns, r.sojournP999Ns,
+                static_cast<unsigned long long>(r.aggregateDigest));
+}
+
+/**
+ * Append the "service" section to the perf-harness JSON
+ * (BENCH_simcore.json): read the file bench_simulator_perf.cc wrote,
+ * strip the closing brace, splice the section in. When the file does
+ * not exist yet the section is written standalone, so the bench also
+ * works outside the perf-smoke pipeline.
+ */
+void
+writeJson()
+{
+    const ServiceResults &r = results();
+    const char *path = std::getenv("HMCSIM_PERF_JSON");
+    if (!path)
+        path = "BENCH_simcore.json";
+
+    std::string existing;
+    if (std::FILE *in = std::fopen(path, "r")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+            existing.append(buf, n);
+        std::fclose(in);
+        // Strip trailing whitespace and the closing brace.
+        while (!existing.empty() &&
+               (existing.back() == '\n' || existing.back() == ' '))
+            existing.pop_back();
+        if (!existing.empty() && existing.back() == '}')
+            existing.pop_back();
+        else
+            existing.clear(); // malformed; start fresh
+    }
+
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    if (existing.empty())
+        std::fprintf(f, "{\n");
+    else
+        std::fprintf(f, "%s,\n", existing.c_str());
+    std::fprintf(
+        f,
+        "  \"service\": {\"nodes\": 16, \"requests\": %llu, "
+        "\"serial_wall_ms\": %.3f, \"parallel_wall_ms\": %.3f, "
+        "\"parallel_speedup\": %.3f, "
+        "\"requests_per_wall_sec\": %.0f, "
+        "\"aggregate_mrps\": %.3f, "
+        "\"sojourn_p50_ns\": %.1f, \"sojourn_p99_ns\": %.1f, "
+        "\"sojourn_p999_ns\": %.1f, "
+        "\"aggregate_digest\": \"%016llx\", "
+        "\"budget_wall_ms\": %.1f}\n",
+        static_cast<unsigned long long>(r.requests), r.serialWallMs,
+        r.parallelWallMs, r.speedup(), r.requestsPerWallSec(),
+        r.aggregateMrps, r.sojournP50Ns, r.sojournP99Ns,
+        r.sojournP999Ns,
+        static_cast<unsigned long long>(r.aggregateDigest),
+        serviceBudgetMs());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (service section)\n\n", path);
+}
+
+void
+BM_FleetServe(benchmark::State &state)
+{
+    // One full parallel fleet campaign per iteration.
+    for (auto _ : state) {
+        const FleetResult res = runFleet(campaignConfig(0));
+        benchmark::DoNotOptimize(res.aggregate.requests);
+    }
+    const ServiceResults &r = results();
+    state.counters["requests_per_wall_s"] = r.requestsPerWallSec();
+    state.counters["sojourn_p999_ns"] = r.sojournP999Ns;
+}
+BENCHMARK(BM_FleetServe)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hmcsim::setInformEnabled(false);
+    printFigure();
+    writeJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const char *guard = std::getenv("HMCSIM_PERF_GUARD");
+    if (guard && guard[0] == '1') {
+        const ServiceResults &r = results();
+        if (r.parallelWallMs > serviceBudgetMs()) {
+            std::fprintf(stderr,
+                         "FAIL: 16-node fleet campaign took %.0f ms "
+                         "(budget %.0f ms)\n",
+                         r.parallelWallMs, serviceBudgetMs());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -36,6 +36,7 @@
 #include "runner/sink.hh"
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
+#include "service/fleet.hh"
 #include "sim/stat_registry.hh"
 #include "trace/lifecycle.hh"
 #include "trace/trace_sink.hh"
@@ -53,6 +54,8 @@ printHelp(std::FILE *out)
         "       hmcsim_cli sweep [options]        parallel campaign\n"
         "       hmcsim_cli selfcheck [options]    determinism probe\n"
         "       hmcsim_cli trace [options]        traced experiment\n"
+        "       hmcsim_cli serve [options]        streaming request "
+        "service\n"
         "\n"
         "experiment options (all commands):\n"
         "  --mix ro|wo|rw|atomic      request mix          (default ro)\n"
@@ -92,6 +95,23 @@ printHelp(std::FILE *out)
         "  --cache DIR                persistent result cache\n"
         "  --timing                   include wall-clock metadata\n"
         "                             (nondeterministic; off for diffs)\n"
+        "\n"
+        "serve options (docs/service.md has the line protocol):\n"
+        "  --in FILE                  request script (default stdin)\n"
+        "  --out FILE                 JSONL results  (default stdout)\n"
+        "  --jobs N                   default worker count\n"
+        "  --cache DIR                persistent result cache for\n"
+        "                             `sweep` requests\n"
+        "  requests, one per line ('#' comments, blank lines ok):\n"
+        "    sweep k=v ...            one sweep point; keys mix, size,\n"
+        "                             vaults, banks, ports, mode,\n"
+        "                             measure_us, warmup_us, seed\n"
+        "    traffic k=v ...          one fleet run; keys nodes,\n"
+        "                             requests, arrival, rate,\n"
+        "                             burst_rate, calm_us, burst_us,\n"
+        "                             trace, router, hot_fraction,\n"
+        "                             keys, size, vaults, seed, jobs\n"
+        "    quit                     end the session\n"
         "\n"
         "tracing options (run, sweep, trace):\n"
         "  --trace-out FILE           Chrome/Perfetto JSON "
@@ -747,6 +767,281 @@ runRunCommand(int argc, char **argv, int first)
     return 0;
 }
 
+/** Split a request line into whitespace-separated tokens. */
+std::vector<std::string>
+splitTokens(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream in(line);
+    std::string token;
+    while (in >> token)
+        out.push_back(token);
+    return out;
+}
+
+/** Split "key=value"; false when there is no '='. */
+bool
+splitKeyValue(const std::string &token, std::string &key,
+              std::string &value)
+{
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = token.substr(0, eq);
+    value = token.substr(eq + 1);
+    return true;
+}
+
+/**
+ * One `sweep` request: a single campaign point run through the same
+ * SweepRunner path as the batch subcommand (same derived seed, same
+ * cache key, same JSONL bytes), streamed through @p sink.
+ */
+bool
+serveSweepRequest(const std::vector<std::string> &tokens,
+                  JsonLinesSink &sink, ResultCache *cache,
+                  unsigned jobs)
+{
+    ExperimentFlags flags;
+    flags.cfg.warmup = 10 * tickUs;
+    flags.cfg.measure = 100 * tickUs;
+    std::uint64_t sweepSeed = 1;
+
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+        std::string key, value;
+        if (!splitKeyValue(tokens[t], key, value)) {
+            std::fprintf(stderr, "serve: bad token '%s'\n",
+                         tokens[t].c_str());
+            return false;
+        }
+        if (key == "mix") {
+            if (value == "ro")
+                flags.cfg.mix = RequestMix::ReadOnly;
+            else if (value == "wo")
+                flags.cfg.mix = RequestMix::WriteOnly;
+            else if (value == "rw")
+                flags.cfg.mix = RequestMix::ReadModifyWrite;
+            else if (value == "atomic")
+                flags.cfg.mix = RequestMix::Atomic;
+            else
+                return false;
+        } else if (key == "size") {
+            flags.cfg.requestSize =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "vaults") {
+            flags.vaults = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+            flags.banks = 0;
+        } else if (key == "banks") {
+            flags.banks = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "ports") {
+            flags.cfg.numPorts = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "mode") {
+            if (value == "random")
+                flags.cfg.mode = AddressingMode::Random;
+            else if (value == "linear")
+                flags.cfg.mode = AddressingMode::Linear;
+            else
+                return false;
+        } else if (key == "measure_us") {
+            flags.cfg.measure =
+                std::strtoull(value.c_str(), nullptr, 0) * tickUs;
+        } else if (key == "warmup_us") {
+            flags.cfg.warmup =
+                std::strtoull(value.c_str(), nullptr, 0) * tickUs;
+        } else if (key == "seed") {
+            sweepSeed = std::strtoull(value.c_str(), nullptr, 0);
+        } else {
+            std::fprintf(stderr, "serve: unknown sweep key '%s'\n",
+                         key.c_str());
+            return false;
+        }
+    }
+    flags.resolvePattern();
+
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.sweepSeed = sweepSeed;
+    opts.cache = cache;
+    opts.sinks.push_back(&sink);
+    SweepRunner runner(opts);
+    runner.run(std::vector<ExperimentConfig>{flags.cfg});
+    return true;
+}
+
+/**
+ * One `traffic` request: an open-loop fleet run (service/fleet.hh).
+ * Streams one node line per node plus the aggregate line.
+ */
+bool
+serveTrafficRequest(const std::vector<std::string> &tokens,
+                    std::ostream &out, unsigned jobs)
+{
+    FleetConfig cfg;
+    cfg.jobs = jobs;
+    unsigned vaults = 16;
+
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+        std::string key, value;
+        if (!splitKeyValue(tokens[t], key, value)) {
+            std::fprintf(stderr, "serve: bad token '%s'\n",
+                         tokens[t].c_str());
+            return false;
+        }
+        if (key == "nodes") {
+            cfg.numNodes = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "requests") {
+            cfg.requests = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "arrival") {
+            if (!parseArrivalKind(value, cfg.arrival.kind))
+                return false;
+        } else if (key == "rate") {
+            cfg.arrival.ratePerSec = std::strtod(value.c_str(), nullptr);
+        } else if (key == "burst_rate") {
+            cfg.arrival.burstRatePerSec =
+                std::strtod(value.c_str(), nullptr);
+        } else if (key == "calm_us") {
+            cfg.arrival.meanCalmTicks =
+                std::strtoull(value.c_str(), nullptr, 0) * tickUs;
+        } else if (key == "burst_us") {
+            cfg.arrival.meanBurstTicks =
+                std::strtoull(value.c_str(), nullptr, 0) * tickUs;
+        } else if (key == "trace") {
+            if (!parseDiurnalTrace(value, cfg.arrival.trace)) {
+                std::fprintf(stderr, "serve: bad trace '%s'\n",
+                             value.c_str());
+                return false;
+            }
+        } else if (key == "router") {
+            if (!parseRouterPolicy(value, cfg.router))
+                return false;
+        } else if (key == "hot_fraction") {
+            cfg.hotFraction = std::strtod(value.c_str(), nullptr);
+        } else if (key == "keys") {
+            cfg.numKeys = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "size") {
+            cfg.node.requestSize =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "vaults") {
+            vaults = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "seed") {
+            cfg.seed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "jobs") {
+            cfg.jobs = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 0));
+        } else {
+            std::fprintf(stderr, "serve: unknown traffic key '%s'\n",
+                         key.c_str());
+            return false;
+        }
+    }
+    if (cfg.numNodes == 0) {
+        std::fprintf(stderr, "serve: traffic needs nodes >= 1\n");
+        return false;
+    }
+    const AddressMapper mapper(cfg.node.device.structure,
+                               cfg.node.device.maxBlock, 256,
+                               cfg.node.device.mapping);
+    cfg.node.pattern = vaultPattern(mapper, vaults);
+
+    const FleetResult res = runFleet(cfg);
+    for (unsigned n = 0; n < cfg.numNodes; ++n)
+        out << serviceNodeJsonl(n, res.nodes[n]) << '\n';
+    out << serviceAggregateJsonl(cfg.numNodes, res.aggregate) << '\n';
+    out.flush();
+    std::fprintf(
+        stderr,
+        "serve: traffic %u nodes, %llu requests, %.2f MRPS aggregate\n",
+        cfg.numNodes, static_cast<unsigned long long>(cfg.requests),
+        res.aggregate.throughputMrps());
+    return true;
+}
+
+/**
+ * The `serve` subcommand: a long-running session reading one request
+ * per line from --in (default stdin) and streaming JSONL results to
+ * --out as each request completes (docs/service.md).
+ */
+int
+runServeCommand(int argc, char **argv, int first)
+{
+    std::string inPath;
+    std::string outPath = "-";
+    std::string cacheDir;
+    unsigned jobs = 0;
+
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        }
+        if (arg == "--in") {
+            inPath = next(argc, argv, i);
+        } else if (arg == "--out") {
+            outPath = next(argc, argv, i);
+        } else if (arg == "--cache") {
+            cacheDir = next(argc, argv, i);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else {
+            usage();
+        }
+    }
+
+    std::ifstream inFile;
+    std::istream *in = &std::cin;
+    if (!inPath.empty() && inPath != "-") {
+        inFile.open(inPath);
+        if (!inFile) {
+            std::fprintf(stderr, "cannot open %s\n", inPath.c_str());
+            return 1;
+        }
+        in = &inFile;
+    }
+    std::ofstream outFile;
+    std::ostream *out = openOut(outPath, outFile);
+
+    // The in-memory cache spans the whole session even without
+    // --cache: a repeated sweep request is served, not re-simulated.
+    ResultCache cache(cacheDir);
+    JsonLinesSink sink(*out);
+    sink.setStreaming(true);
+
+    std::uint64_t served = 0;
+    std::uint64_t failed = 0;
+    std::string line;
+    while (std::getline(*in, line)) {
+        const std::vector<std::string> tokens = splitTokens(line);
+        if (tokens.empty() || tokens[0][0] == '#')
+            continue;
+        if (tokens[0] == "quit")
+            break;
+        bool ok = false;
+        if (tokens[0] == "sweep")
+            ok = serveSweepRequest(tokens, sink, &cache, jobs);
+        else if (tokens[0] == "traffic")
+            ok = serveTrafficRequest(tokens, *out, jobs);
+        else
+            std::fprintf(stderr, "serve: unknown request '%s'\n",
+                         tokens[0].c_str());
+        ++(ok ? served : failed);
+    }
+    sink.finish();
+    std::fprintf(stderr,
+                 "serve: session done, %llu served, %llu failed "
+                 "(%llu cache hits)\n",
+                 static_cast<unsigned long long>(served),
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(cache.hits()));
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -761,6 +1056,8 @@ main(int argc, char **argv)
         return runSelfCheckCommand(argc, argv, 2);
     if (cmd == "trace")
         return runTraceCommand(argc, argv, 2);
+    if (cmd == "serve")
+        return runServeCommand(argc, argv, 2);
     if (cmd == "--help" || cmd == "-h") {
         printHelp(stdout);
         return 0;

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Open-loop arrival feed consumed by a GUPS port.
+ *
+ * Closed-loop GUPS (the paper's benchmark) keeps the tag pool
+ * saturated: offered load is whatever the cube sustains. An open-loop
+ * port instead admits requests at externally-scheduled arrival ticks
+ * (service/arrival.hh generates them), so queueing delay ahead of
+ * issue becomes visible: the feed's complete() callback receives the
+ * *arrival* tick, not the issue tick, and sojourn = completion -
+ * arrival includes time spent waiting for a free tag.
+ */
+
+#ifndef HMCSIM_GUPS_ARRIVAL_FEED_HH
+#define HMCSIM_GUPS_ARRIVAL_FEED_HH
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/**
+ * Source of open-loop request arrivals, consumed in order. The feed
+ * is owned by the caller and must outlive the port; like everything
+ * else a simulator touches, it obeys the one-simulator-per-thread
+ * contract (host/ac510.hh).
+ */
+class ArrivalFeed
+{
+  public:
+    virtual ~ArrivalFeed() = default;
+
+    /** Arrival tick of the next not-yet-issued request, or maxTick
+     *  when the stream is exhausted. Must be non-decreasing. */
+    virtual Tick peekArrival() const = 0;
+
+    /** Consume the request just issued (the one peekArrival named). */
+    virtual void pop() = 0;
+
+    /**
+     * Record the completion of an open-loop request: @p arrival is
+     * the tick peekArrival() reported when it was admitted, and
+     * @p completion the tick its response arrived back at the port.
+     */
+    virtual void complete(Tick arrival, Tick completion) = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_GUPS_ARRIVAL_FEED_HH

@@ -57,6 +57,11 @@ GupsPort::GupsPort(unsigned id, const GupsPortConfig &cfg, Bytes capacity,
     writePayload = cfg.requestSize;
     writeTransactionBytes =
         transactionBytes(Command::Write, writePayload);
+
+    // Open loop: per-tag arrival stamps so each completion can report
+    // its sojourn (gups/arrival_feed.hh).
+    if (cfg.arrivals)
+        arrivalByTag.assign(cfg.tagPoolDepth, 0);
 }
 
 void
@@ -89,13 +94,19 @@ GupsPort::makePacket(Command cmd, Addr addr)
 void
 GupsPort::scheduleIssue()
 {
+    scheduleIssueAt(queue.now());
+}
+
+void
+GupsPort::scheduleIssueAt(Tick earliest)
+{
     // A stopped port generates nothing new, but dependent rw writes
     // whose reads already returned must still retire.
     if (issuePending || (!running && pendingRmwWrites.empty()))
         return;
     issuePending = true;
-    const Tick now = queue.now();
-    const Tick when = nextIssueAllowed > now ? nextIssueAllowed : now;
+    const Tick when =
+        nextIssueAllowed > earliest ? nextIssueAllowed : earliest;
     queue.schedule(when, [this] { issueOne(); });
 }
 
@@ -119,6 +130,31 @@ GupsPort::issueOne()
         Packet pkt = makePacket(Command::Write, addr);
         submit(std::move(pkt));
         issued = true;
+    } else if (running && cfg.arrivals) {
+        // Open loop: admit the next scheduled arrival, if due. The
+        // tag pool still gates admission -- a burst that outruns the
+        // cube queues right here, and that wait is exactly the
+        // sojourn-vs-service-latency gap the fleet layer measures
+        // (src/service/).
+        const Tick arrival = cfg.arrivals->peekArrival();
+        if (arrival <= queue.now()) {
+            if (tags.available()) {
+                Packet pkt = makePacket(Command::Read, nextAddress());
+                pkt.tag = tags.allocate();
+                arrivalByTag[pkt.tag] = arrival;
+                cfg.arrivals->pop();
+                ++outstandingReads;
+                ++_stats.readsIssued;
+                ++generatedOps;
+                submit(std::move(pkt));
+                issued = true;
+            }
+            // No free tag: a response will wake us.
+        } else if (arrival != maxTick) {
+            // Stream idle: sleep until the next arrival tick.
+            scheduleIssueAt(arrival);
+        }
+        // Exhausted feed: nothing left to do; the queue drains.
     } else if (running && !budgetExhausted()) {
         switch (cfg.mix) {
           case RequestMix::ReadOnly:
@@ -287,6 +323,10 @@ GupsPort::onResponse(const Packet &pkt)
                      portId, static_cast<unsigned long long>(pkt.id));
         --outstandingReads;
         tags.release(pkt.tag);
+        // Open loop: report sojourn (arrival -> completion) before the
+        // tag can be reused by the wake below.
+        if (cfg.arrivals)
+            cfg.arrivals->complete(arrivalByTag[pkt.tag], queue.now());
         if (readBatch.push(latency_ticks))
             flushReadBatch();
         if (cfg.mix == RequestMix::ReadModifyWrite)

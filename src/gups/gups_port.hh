@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "gups/address_generator.hh"
+#include "gups/arrival_feed.hh"
 #include "protocol/packet.hh"
 #include "protocol/tag_pool.hh"
 #include "sim/event_queue.hh"
@@ -69,6 +71,19 @@ struct GupsPortConfig
      * all ports of one system (Ac510Config::tracer wires it).
      */
     PacketTracer *tracer = nullptr;
+    /**
+     * Open-loop arrival feed (gups/arrival_feed.hh). Null (the
+     * default) is classic closed-loop GUPS: issue whenever a tag or
+     * credit frees up. Non-null switches the port to arrival-driven
+     * issue: one tagged read per feed entry, admitted no earlier than
+     * its arrival tick, with sojourn (arrival -> completion) reported
+     * back through the feed. Open-loop traffic is reads regardless of
+     * mix (the fleet service models read-dominated lookups); the
+     * issue-interval and tag-pool structural limits still apply, so
+     * bursts queue exactly as the hardware would make them. Not
+     * owned; must be unique to this port and outlive it.
+     */
+    ArrivalFeed *arrivals = nullptr;
 };
 
 /** Counters exposed by a port's monitoring unit. */
@@ -185,6 +200,10 @@ class GupsPort
     /** Arrange for issueOne() to run at the next allowed issue slot. */
     void scheduleIssue();
 
+    /** Like scheduleIssue(), but no earlier than @p earliest (used to
+     *  sleep until the next open-loop arrival). */
+    void scheduleIssueAt(Tick earliest);
+
     /** Try to issue a single request; reschedules itself while the
      *  port is running and has work. */
     void issueOne();
@@ -239,6 +258,11 @@ class GupsPort
     /** Pre-generated issue addresses (nextAddress). */
     Addr addrWindow[addrWindowSize];
     unsigned addrWindowPos = addrWindowSize;
+
+    /** Open-loop only: arrival tick of each in-flight tagged request,
+     *  indexed by tag, so completions can report sojourn (arrival ->
+     *  completion) back through the feed. Empty in closed-loop mode. */
+    std::vector<Tick> arrivalByTag;
 
     // Tick-domain latency buffers; mutable so the const stats()
     // accessor can drain them (logically the stats are unchanged --

@@ -80,6 +80,7 @@ runExperiment(const ExperimentConfig &cfg, const RunOptions &opts,
     if (agg.readLatencyHistNs.totalSamples() > 0) {
         res.readLatencyP50Ns = agg.readLatencyHistNs.quantile(0.5);
         res.readLatencyP99Ns = agg.readLatencyHistNs.quantile(0.99);
+        res.readLatencyP999Ns = agg.readLatencyHistNs.quantile(0.999);
     }
     if (tracer) {
         res.stages = tracer->breakdown();

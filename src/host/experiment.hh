@@ -79,6 +79,7 @@ struct MeasurementResult
     /** Tail latency from the binned distribution (ns). */
     double readLatencyP50Ns = 0.0;
     double readLatencyP99Ns = 0.0;
+    double readLatencyP999Ns = 0.0;
     /** Per-stage latency breakdown (trace/lifecycle.hh); populated
      *  only when the run had tracing enabled, else stages.enabled is
      *  false and every accumulator is empty. */

@@ -207,7 +207,9 @@ ResultCache::serialize(const CachedResult &value)
 {
     const MeasurementResult &m = value.result;
     std::ostringstream out;
-    out << "hmcsim-result v1\n";
+    // v2 added readLatencyP999Ns; v1 entries on disk become clean
+    // cache misses (re-simulated, then rewritten in v2).
+    out << "hmcsim-result v2\n";
     out << "patternName " << m.patternName << '\n';
     out << "mix " << static_cast<std::uint64_t>(m.mix) << '\n';
     out << "requestSize " << m.requestSize << '\n';
@@ -221,6 +223,8 @@ ResultCache::serialize(const CachedResult &value)
     putStats(out, "writeLatencyNs", m.writeLatencyNs);
     out << "readLatencyP50Ns " << fmtDouble(m.readLatencyP50Ns) << '\n';
     out << "readLatencyP99Ns " << fmtDouble(m.readLatencyP99Ns) << '\n';
+    out << "readLatencyP999Ns " << fmtDouble(m.readLatencyP999Ns)
+        << '\n';
     out << "statDigest " << value.statDigest << '\n';
     return out.str();
 }
@@ -230,7 +234,7 @@ ResultCache::deserialize(const std::string &text)
 {
     std::istringstream in(text);
     std::string header;
-    if (!std::getline(in, header) || header != "hmcsim-result v1")
+    if (!std::getline(in, header) || header != "hmcsim-result v2")
         return std::nullopt;
 
     CachedResult value;
@@ -249,6 +253,7 @@ ResultCache::deserialize(const std::string &text)
         !takeStats(in, "writeLatencyNs", m.writeLatencyNs) ||
         !takeDouble(in, "readLatencyP50Ns", m.readLatencyP50Ns) ||
         !takeDouble(in, "readLatencyP99Ns", m.readLatencyP99Ns) ||
+        !takeDouble(in, "readLatencyP999Ns", m.readLatencyP999Ns) ||
         !takeU64(in, "statDigest", value.statDigest)) {
         return std::nullopt;
     }

@@ -78,6 +78,8 @@ JsonLinesSink::write(const SweepPointResult &p)
             << ",\"from_cache\":" << (p.fromCache ? "true" : "false");
     }
     out << "}\n";
+    if (streaming)
+        out.flush();
 }
 
 void

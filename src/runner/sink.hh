@@ -74,12 +74,22 @@ class JsonLinesSink : public ResultSink
     {
     }
 
+    /**
+     * Streaming mode: flush after every line instead of only at
+     * finish(). The serve subcommand turns this on so a client
+     * reading the pipe sees each result as soon as it is written;
+     * batch sweeps leave it off (one flush at the end is cheaper and
+     * the bytes are identical either way).
+     */
+    void setStreaming(bool on) { streaming = on; }
+
     void write(const SweepPointResult &point) override;
     void finish() override;
 
   private:
     std::ostream &out;
     bool includeTiming;
+    bool streaming = false;
 };
 
 /** CSV sink: header row, then one flat row per point. */

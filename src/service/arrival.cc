@@ -1,0 +1,377 @@
+// lint:file(persistence) -- diurnal traces round-trip through text: %a hexfloat only, enforced by hmcsim-lint.
+#include "service/arrival.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/**
+ * Canonical FNV-1a accumulator, the same hashing idiom as
+ * runner/config_digest.cc (kept local there too: the digest is
+ * defined by its byte stream, not by sharing code).
+ */
+struct Fnv1a
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+
+    void
+    byte(unsigned char b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const char *s)
+    {
+        for (; *s; ++s)
+            byte(static_cast<unsigned char>(*s));
+        byte(0);
+    }
+};
+
+/** Uniform draw in (0, 1]: never 0, so negLogUnit is always finite. */
+double
+unitUniform(Xoshiro256StarStar &rng)
+{
+    return static_cast<double>((rng.next() >> 11) + 1) * 0x1.0p-53;
+}
+
+constexpr double ticksPerSecond = static_cast<double>(tickS);
+
+/** Exponential dwell/gap in ticks with the given mean (ticks). */
+double
+expTicks(Xoshiro256StarStar &rng, double mean_ticks)
+{
+    return negLogUnit(unitUniform(rng)) * mean_ticks;
+}
+
+class PoissonArrivals final : public ArrivalModel
+{
+  public:
+    PoissonArrivals(double rate_per_sec, std::uint64_t seed)
+        : rng(seed), meanGapTicks(ticksPerSecond / rate_per_sec)
+    {
+    }
+
+    Tick
+    next() override
+    {
+        // fma keeps the rounding-offset add out of the compiler's
+        // contraction reach: one correctly-rounded operation on every
+        // platform (see negLogUnit).
+        const double gap = std::fma(negLogUnit(unitUniform(rng)),
+                                    meanGapTicks, 0.5);
+        t += static_cast<Tick>(gap);
+        return t;
+    }
+
+  private:
+    Xoshiro256StarStar rng;
+    double meanGapTicks;
+    Tick t = 0;
+};
+
+/**
+ * Shared core of the two piecewise-constant-rate models: spend one
+ * unit-rate exponential of "work" across rate segments (the exact
+ * inversion of the non-homogeneous Poisson integral). MMPP draws its
+ * segment schedule randomly; Diurnal replays a fixed trace.
+ */
+class MmppArrivals final : public ArrivalModel
+{
+  public:
+    MmppArrivals(const ArrivalConfig &cfg, std::uint64_t seed)
+        : rng(seed)
+    {
+        ratePerTick[0] = cfg.ratePerSec / ticksPerSecond;
+        ratePerTick[1] = cfg.burstRatePerSec / ticksPerSecond;
+        meanDwellTicks[0] = static_cast<double>(cfg.meanCalmTicks);
+        meanDwellTicks[1] = static_cast<double>(cfg.meanBurstTicks);
+        stateEnd = drawDwellEnd();
+    }
+
+    Tick
+    next() override
+    {
+        double work = negLogUnit(unitUniform(rng));
+        for (;;) {
+            const double span = static_cast<double>(stateEnd - t);
+            const double capacity = span * ratePerTick[state];
+            if (work < capacity) {
+                const double offset = work / ratePerTick[state];
+                Tick step = static_cast<Tick>(offset + 0.5);
+                if (step > stateEnd - t)
+                    step = stateEnd - t;
+                t += step;
+                return t;
+            }
+            work -= capacity;
+            t = stateEnd;
+            state ^= 1u;
+            stateEnd = drawDwellEnd();
+        }
+    }
+
+  private:
+    Tick
+    drawDwellEnd()
+    {
+        auto dwell =
+            static_cast<Tick>(expTicks(rng, meanDwellTicks[state]) + 0.5);
+        return t + (dwell ? dwell : 1);
+    }
+
+    Xoshiro256StarStar rng;
+    double ratePerTick[2] = {0.0, 0.0};
+    double meanDwellTicks[2] = {0.0, 0.0};
+    unsigned state = 0;
+    Tick t = 0;
+    Tick stateEnd = 0;
+};
+
+class DiurnalArrivals final : public ArrivalModel
+{
+  public:
+    DiurnalArrivals(const ArrivalConfig &cfg, std::uint64_t seed)
+        : rng(seed),
+          trace(cfg.trace),
+          baseRatePerTick(cfg.ratePerSec / ticksPerSecond)
+    {
+        segEnd = trace.front().duration;
+    }
+
+    Tick
+    next() override
+    {
+        double work = negLogUnit(unitUniform(rng));
+        for (;;) {
+            const double rate =
+                baseRatePerTick * trace[segIdx].rateScale;
+            const double span = static_cast<double>(segEnd - t);
+            const double capacity = span * rate;
+            if (rate > 0.0 && work < capacity) {
+                const double offset = work / rate;
+                Tick step = static_cast<Tick>(offset + 0.5);
+                if (step > segEnd - t)
+                    step = segEnd - t;
+                t += step;
+                return t;
+            }
+            work -= capacity;
+            t = segEnd;
+            segIdx = (segIdx + 1) % trace.size();
+            segEnd = t + trace[segIdx].duration;
+        }
+    }
+
+  private:
+    Xoshiro256StarStar rng;
+    std::vector<DiurnalSegment> trace;
+    double baseRatePerTick;
+    std::size_t segIdx = 0;
+    Tick t = 0;
+    Tick segEnd = 0;
+};
+
+} // namespace
+
+double
+negLogUnit(double u)
+{
+    // Split u = m * 2^e with m in [1, 2); then reduce m into
+    // [sqrt(1/2), sqrt(2)) so the series argument stays small:
+    // -ln u = -(e * ln2 + ln m).
+    std::uint64_t bits;
+    std::memcpy(&bits, &u, sizeof(bits));
+    int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+    std::uint64_t mbits =
+        (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL;
+    double m;
+    std::memcpy(&m, &mbits, sizeof(m));
+    if (m > 1.4142135623730951) {
+        m *= 0.5;
+        e += 1;
+    }
+
+    // ln m = 2 atanh(z), z = (m-1)/(m+1) in (-0.172, 0.172); the odd
+    // series 2z * sum z^2k/(2k+1) truncated at z^15 has relative
+    // error < 3e-13 -- statistical noise for arrival gaps, while the
+    // explicit fma chain keeps every operation correctly rounded and
+    // out of the compiler's contraction reach (-ffp-contract never
+    // changes a std::fma call), so the result is bit-identical on
+    // every platform.
+    const double z = (m - 1.0) / (m + 1.0);
+    const double z2 = z * z;
+    double poly = 1.0 / 15.0;
+    poly = std::fma(poly, z2, 1.0 / 13.0);
+    poly = std::fma(poly, z2, 1.0 / 11.0);
+    poly = std::fma(poly, z2, 1.0 / 9.0);
+    poly = std::fma(poly, z2, 1.0 / 7.0);
+    poly = std::fma(poly, z2, 1.0 / 5.0);
+    poly = std::fma(poly, z2, 1.0 / 3.0);
+    poly = std::fma(poly, z2, 1.0);
+    const double lnm = 2.0 * z * poly;
+
+    constexpr double ln2 = 0x1.62e42fefa39efp-1;
+    const double r = -std::fma(static_cast<double>(e), ln2, lnm);
+    // u == 1 can land on -0.0; gaps are nonnegative by definition.
+    return r > 0.0 ? r : 0.0;
+}
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Mmpp:
+        return "mmpp";
+      case ArrivalKind::Diurnal:
+        return "diurnal";
+    }
+    return "?";
+}
+
+bool
+parseArrivalKind(const std::string &name, ArrivalKind &out)
+{
+    if (name == "poisson")
+        out = ArrivalKind::Poisson;
+    else if (name == "mmpp")
+        out = ArrivalKind::Mmpp;
+    else if (name == "diurnal")
+        out = ArrivalKind::Diurnal;
+    else
+        return false;
+    return true;
+}
+
+std::uint64_t
+arrivalConfigDigest(const ArrivalConfig &cfg)
+{
+    Fnv1a fnv;
+    fnv.str("hmcsim.arrival.v1");
+    fnv.u64(static_cast<std::uint64_t>(cfg.kind));
+    fnv.f64(cfg.ratePerSec);
+    fnv.f64(cfg.burstRatePerSec);
+    fnv.u64(cfg.meanCalmTicks);
+    fnv.u64(cfg.meanBurstTicks);
+    fnv.u64(cfg.trace.size());
+    for (const DiurnalSegment &seg : cfg.trace) {
+        fnv.u64(seg.duration);
+        fnv.f64(seg.rateScale);
+    }
+    return fnv.h;
+}
+
+std::uint64_t
+deriveStreamSeed(std::uint64_t seed, const ArrivalConfig &cfg)
+{
+    std::uint64_t state = seed ^ arrivalConfigDigest(cfg);
+    const std::uint64_t derived = splitMix64(state);
+    return derived ? derived : 1;
+}
+
+std::unique_ptr<ArrivalModel>
+makeArrivalModel(const ArrivalConfig &cfg, std::uint64_t stream_seed)
+{
+    if (!(cfg.ratePerSec > 0.0))
+        fatal("arrival rate must be positive (got %g)", // lint:allow(hexfloat-persistence) diagnostic text, never persisted
+              cfg.ratePerSec);
+    switch (cfg.kind) {
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(cfg.ratePerSec,
+                                                 stream_seed);
+      case ArrivalKind::Mmpp:
+        if (!(cfg.burstRatePerSec > 0.0) || cfg.meanCalmTicks == 0 ||
+            cfg.meanBurstTicks == 0) {
+            fatal("mmpp needs positive burst rate and dwell times");
+        }
+        return std::make_unique<MmppArrivals>(cfg, stream_seed);
+      case ArrivalKind::Diurnal: {
+        bool usable = false;
+        for (const DiurnalSegment &seg : cfg.trace) {
+            if (seg.duration == 0)
+                fatal("diurnal segment with zero duration");
+            if (seg.rateScale > 0.0)
+                usable = true;
+        }
+        if (!usable)
+            fatal("diurnal trace needs at least one positive-rate "
+                  "segment");
+        return std::make_unique<DiurnalArrivals>(cfg, stream_seed);
+      }
+    }
+    fatal("unknown arrival kind");
+    return nullptr;
+}
+
+std::string
+formatDiurnalTrace(const std::vector<DiurnalSegment> &trace)
+{
+    std::string out;
+    char buf[80];
+    for (const DiurnalSegment &seg : trace) {
+        std::snprintf(buf, sizeof(buf), "%s%llu:%a",
+                      out.empty() ? "" : ",",
+                      static_cast<unsigned long long>(seg.duration),
+                      seg.rateScale);
+        out += buf;
+    }
+    return out;
+}
+
+bool
+parseDiurnalTrace(const std::string &text,
+                  std::vector<DiurnalSegment> &out)
+{
+    out.clear();
+    const char *p = text.c_str();
+    while (*p) {
+        char *end = nullptr;
+        DiurnalSegment seg;
+        seg.duration = std::strtoull(p, &end, 10);
+        if (end == p || *end != ':' || seg.duration == 0)
+            return false;
+        p = end + 1;
+        // strtod accepts both the %a round-trip form and plain
+        // decimals for hand-written traces.
+        seg.rateScale = std::strtod(p, &end);
+        if (end == p || seg.rateScale < 0.0)
+            return false;
+        out.push_back(seg);
+        p = end;
+        if (*p == ',')
+            ++p;
+        else if (*p)
+            return false;
+    }
+    return !out.empty();
+}
+
+} // namespace hmcsim

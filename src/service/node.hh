@@ -1,0 +1,53 @@
+/**
+ * @file
+ * One fleet node: a simulated AC-510 + HMC serving an open-loop
+ * request stream (docs/service.md).
+ *
+ * A node wraps the same host path runExperiment uses (host/ac510.hh)
+ * with one GUPS port switched into arrival-driven issue
+ * (gups/arrival_feed.hh): the port admits one tagged read per
+ * arrival, no earlier than its arrival tick, and the node runs to
+ * completion -- no warmup/measure window, every request is measured.
+ * One node = one simulator = one thread (the contract in
+ * host/ac510.hh); the fleet layer gives each node its own thread-pool
+ * task.
+ */
+
+#ifndef HMCSIM_SERVICE_NODE_HH
+#define HMCSIM_SERVICE_NODE_HH
+
+#include <vector>
+
+#include "host/experiment.hh"
+#include "service/service_stats.hh"
+
+namespace hmcsim
+{
+
+/**
+ * Per-node configuration: the hardware/pattern/size fields every
+ * experiment flavor shares, plus the addressing mode. The node's seed
+ * must already be derived (fleet.hh does it content-addressed).
+ */
+struct ServiceNodeConfig : CommonExperimentConfig
+{
+    AddressingMode mode = AddressingMode::Random;
+};
+
+/** Outcome of serving one node's shard of the stream. */
+struct ServiceNodeResult
+{
+    ServiceStats stats;
+};
+
+/**
+ * Serve @p arrivals (absolute ticks, non-decreasing) on one node and
+ * return its service stats. Pure function of (cfg, arrivals):
+ * deterministic wherever it runs.
+ */
+ServiceNodeResult runServiceNode(const ServiceNodeConfig &cfg,
+                                 const std::vector<Tick> &arrivals);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SERVICE_NODE_HH

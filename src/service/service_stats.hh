@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Service-level statistics for the fleet traffic subsystem
+ * (docs/service.md): per-node and aggregate throughput plus exact
+ * sojourn-time quantiles.
+ *
+ * Sojourn time is completion - arrival, measured in integer ticks: it
+ * includes the time an open-loop request queued for a free tag before
+ * issue, which is exactly what a closed-loop latency measurement
+ * cannot see. Quantiles come from TickQuantiles (sim/stats.hh), so
+ * p50/p99/p999 name specific observed samples, and every field here
+ * is digest-observable and byte-identical at any --jobs: merging is
+ * commutative over the sample multiset and the fleet merges in
+ * canonical node order anyway.
+ */
+
+#ifndef HMCSIM_SERVICE_SERVICE_STATS_HH
+#define HMCSIM_SERVICE_SERVICE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Open-loop service statistics for one node or a whole fleet. */
+struct ServiceStats
+{
+    /** Completed requests. */
+    std::uint64_t requests = 0;
+    /** Earliest arrival tick observed (maxTick when empty). */
+    Tick firstArrival = maxTick;
+    /** Latest completion tick observed. */
+    Tick lastCompletion = 0;
+    /** Integer-tick sojourn sum (exact; 100k requests at ms-scale
+     *  sojourns stay far below 2^64). */
+    std::uint64_t sumSojournTicks = 0;
+    /** Every sojourn sample, for exact quantiles. */
+    TickQuantiles sojourn;
+
+    /** Record one completed request. */
+    void record(Tick arrival, Tick completion);
+
+    /** Fold another accumulator in (any order; see file comment). */
+    void merge(const ServiceStats &other);
+
+    /** Observed span from first arrival to last completion (s). */
+    double elapsedSeconds() const;
+
+    /** Completed-request throughput over the observed span, MRPS. */
+    double throughputMrps() const;
+
+    double meanSojournNs() const;
+    double sojournP50Ns() const { return sojourn.quantileNs(0.5); }
+    double sojournP99Ns() const { return sojourn.quantileNs(0.99); }
+    double sojournP999Ns() const { return sojourn.quantileNs(0.999); }
+
+    /** FNV-1a digest over counters and the sorted sojourn multiset;
+     *  the fleet determinism tests compare these across --jobs. */
+    std::uint64_t digest() const;
+};
+
+/**
+ * One JSONL line (no trailing newline) describing a node's service
+ * stats: {"type":"node","node":N,...}. Doubles print with 17
+ * significant digits, the same bit-round-trip convention as the sweep
+ * sinks (runner/sink.cc).
+ */
+std::string serviceNodeJsonl(unsigned node, const ServiceStats &stats);
+
+/** Aggregate line: {"type":"aggregate","nodes":N,...}. */
+std::string serviceAggregateJsonl(unsigned num_nodes,
+                                  const ServiceStats &stats);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_SERVICE_SERVICE_STATS_HH

@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -229,8 +230,7 @@ Histogram::quantile(double p) const
 {
     if (total == 0)
         return 0.0;
-    const auto target =
-        static_cast<std::uint64_t>(p * static_cast<double>(total));
+    const std::uint64_t target = quantileTargetRank(total, p);
     std::uint64_t seen = _underflow;
     if (seen > target)
         return lo;
@@ -326,6 +326,65 @@ TickLatencyBatch::flushInto(SampleStats &stats, Histogram *hist)
     if (vmax > stats._max)
         stats._max = vmax;
     stats.combineChunk(ns, cnt);
+}
+
+void
+TickQuantiles::ensureSorted() const
+{
+    if (sorted)
+        return;
+    std::sort(samples.begin(), samples.end());
+    sorted = true;
+}
+
+void
+TickQuantiles::merge(const TickQuantiles &other)
+{
+    if (other.samples.empty())
+        return;
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    sorted = false;
+}
+
+Tick
+TickQuantiles::quantileTicks(double p) const
+{
+    if (samples.empty())
+        return 0;
+    ensureSorted();
+    std::uint64_t rank = quantileTargetRank(samples.size(), p);
+    if (rank >= samples.size())
+        rank = samples.size() - 1;
+    return samples[rank];
+}
+
+Tick
+TickQuantiles::maxTicks() const
+{
+    if (samples.empty())
+        return 0;
+    ensureSorted();
+    return samples.back();
+}
+
+std::uint64_t
+TickQuantiles::digest() const
+{
+    ensureSorted();
+    // FNV-1a over the count then each sorted 64-bit tick, low byte
+    // first (the same hashing idiom as StatRegistry::digest()).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(samples.size());
+    for (const Tick t : samples)
+        mix(t);
+    return h;
 }
 
 double

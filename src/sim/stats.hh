@@ -21,6 +21,84 @@ namespace hmcsim
 class TickLatencyBatch;
 
 /**
+ * Nearest-rank rule shared by every exact-quantile consumer: the
+ * p-quantile of @p total ordered samples is the value with
+ * zero-based rank floor(p * total). Histogram::quantile walks its
+ * bins until the cumulative count exceeds this rank, and
+ * TickQuantiles indexes its sorted samples with it directly, so a
+ * percentile computed from raw ticks and one computed from an exact
+ * integer-tick histogram agree on which sample they name.
+ */
+constexpr std::uint64_t
+quantileTargetRank(std::uint64_t total, double p)
+{
+    return static_cast<std::uint64_t>(p * static_cast<double>(total));
+}
+
+/**
+ * Exact quantiles over integer tick samples: keeps every sample and
+ * answers quantile queries by nearest rank (quantileTargetRank) over
+ * the sorted values -- no binning error, so p999 of a 100k-request
+ * fleet names one specific observed sojourn time.
+ *
+ * merge() concatenates and re-sorts; because the answer depends only
+ * on the sorted multiset, merged results are independent of merge
+ * order, which is what makes fleet aggregates byte-identical at any
+ * --jobs (docs/service.md).
+ */
+class TickQuantiles
+{
+  public:
+    /** Record one sample. */
+    void
+    add(Tick value)
+    {
+        samples.push_back(value);
+        sorted = false;
+    }
+
+    /** Fold another accumulator's samples into this one. */
+    void merge(const TickQuantiles &other);
+
+    std::uint64_t count() const { return samples.size(); }
+
+    /** Nearest-rank p-quantile in ticks; 0 when empty. */
+    Tick quantileTicks(double p) const;
+
+    /** Nearest-rank p-quantile converted to nanoseconds. */
+    double
+    quantileNs(double p) const
+    {
+        return ticksToNs(quantileTicks(p));
+    }
+
+    /** Largest sample, or 0 when empty. */
+    Tick maxTicks() const;
+
+    /**
+     * FNV-1a digest of the sorted multiset (count then each tick).
+     * Pure function of the recorded samples, independent of insertion
+     * and merge order.
+     */
+    std::uint64_t digest() const;
+
+    void
+    reset()
+    {
+        samples.clear();
+        sorted = true;
+    }
+
+  private:
+    void ensureSorted() const;
+
+    /** Mutable so const quantile queries can sort lazily; the
+     *  logical value (the multiset) never changes under const. */
+    mutable std::vector<Tick> samples;
+    mutable bool sorted = true;
+};
+
+/**
  * Running sample statistics: count, sum, min, max, mean, variance.
  * Variance uses Welford's online algorithm for numerical stability.
  */

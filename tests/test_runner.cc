@@ -235,7 +235,8 @@ bitIdentical(const MeasurementResult &a, const MeasurementResult &b)
            statsEq(a.readLatencyNs, b.readLatencyNs) &&
            statsEq(a.writeLatencyNs, b.writeLatencyNs) &&
            eq(a.readLatencyP50Ns, b.readLatencyP50Ns) &&
-           eq(a.readLatencyP99Ns, b.readLatencyP99Ns);
+           eq(a.readLatencyP99Ns, b.readLatencyP99Ns) &&
+           eq(a.readLatencyP999Ns, b.readLatencyP999Ns);
 }
 
 TEST(ResultCache, HitMissAccounting)
@@ -273,6 +274,7 @@ TEST(ResultCache, SerializationRoundTripsBitExactly)
     // Awkward doubles: negative zero, subnormal-ish, many digits.
     value.result.writeMrps = -0.0;
     value.result.readLatencyP99Ns = 1234.5678901234567;
+    value.result.readLatencyP999Ns = 9876.5432109876543;
     const auto parsed =
         ResultCache::deserialize(ResultCache::serialize(value));
     ASSERT_TRUE(parsed.has_value());
@@ -280,6 +282,7 @@ TEST(ResultCache, SerializationRoundTripsBitExactly)
     EXPECT_EQ(parsed->statDigest, value.statDigest);
 
     EXPECT_FALSE(ResultCache::deserialize("garbage").has_value());
+    // Pre-p999 (v1) entries on disk are rejected as clean misses.
     EXPECT_FALSE(
         ResultCache::deserialize("hmcsim-result v1\nnope").has_value());
 }
