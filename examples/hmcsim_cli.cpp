@@ -32,6 +32,7 @@
 
 #include "host/experiment.hh"
 #include "host/trace_replay.hh"
+#include "mem/backend.hh"
 #include "runner/result_cache.hh"
 #include "runner/sink.hh"
 #include "runner/sweep.hh"
@@ -70,6 +71,8 @@ printHelp(std::FILE *out)
         "  --mapping vault|bank|contig  interleave scheme\n"
         "  --ber X                    lane bit error rate  (default 0)\n"
         "  --refresh X                refresh multiplier   (default off)\n"
+        "  --backend hmc|ddr4|nvm     vault storage engine (default hmc;\n"
+        "                             docs/backends.md)\n"
         "  --seed S                   experiment/campaign seed "
         "(default 1)\n"
         "\n"
@@ -87,8 +90,8 @@ printHelp(std::FILE *out)
         "(default: cores)\n"
         "  --axis K=V1,V2,...         sweep axis, repeatable; K is one\n"
         "                             of vaults, banks, mix, size, mode,\n"
-        "                             ports (default: paper pattern\n"
-        "                             axis, ro, 128 B)\n"
+        "                             ports, backend (default: paper\n"
+        "                             pattern axis, ro, 128 B, hmc)\n"
         "  --out FILE                 JSON-lines results   "
         "(\"-\" = stdout)\n"
         "  --csv-out FILE             CSV results\n"
@@ -105,7 +108,8 @@ printHelp(std::FILE *out)
         "  requests, one per line ('#' comments, blank lines ok):\n"
         "    sweep k=v ...            one sweep point; keys mix, size,\n"
         "                             vaults, banks, ports, mode,\n"
-        "                             measure_us, warmup_us, seed\n"
+        "                             backend, measure_us, warmup_us,\n"
+        "                             seed\n"
         "    traffic k=v ...          one fleet run; keys nodes,\n"
         "                             requests, arrival, rate,\n"
         "                             burst_rate, calm_us, burst_us,\n"
@@ -235,6 +239,10 @@ parseExperimentFlag(ExperimentFlags &f, int argc, char **argv, int &i)
         f.cfg.device.vault.refreshEnabled = true;
         f.cfg.device.vault.refreshMultiplier =
             std::strtod(next(argc, argv, i), nullptr);
+    } else if (arg == "--backend") {
+        if (!parseBackendKind(next(argc, argv, i),
+                              f.cfg.device.vault.backend.kind))
+            usage();
     } else if (arg == "--seed") {
         f.cfg.seed = std::strtoull(next(argc, argv, i), nullptr, 0);
     } else {
@@ -493,6 +501,11 @@ runSweepCommand(int argc, char **argv, int first)
                         axes.modes.push_back(AddressingMode::Linear);
                     else
                         usage();
+                } else if (key == "backend") {
+                    BackendKind kind;
+                    if (!parseBackendKind(value, kind))
+                        usage();
+                    axes.backends.push_back(kind);
                 } else {
                     usage();
                 }
@@ -851,6 +864,10 @@ serveSweepRequest(const std::vector<std::string> &tokens,
         } else if (key == "warmup_us") {
             flags.cfg.warmup =
                 std::strtoull(value.c_str(), nullptr, 0) * tickUs;
+        } else if (key == "backend") {
+            if (!parseBackendKind(value,
+                                  flags.cfg.device.vault.backend.kind))
+                return false;
         } else if (key == "seed") {
             sweepSeed = std::strtoull(value.c_str(), nullptr, 0);
         } else {

@@ -3,43 +3,58 @@
 #include <algorithm>
 #include <queue>
 
-#include "sim/logging.hh"
+#include "protocol/packet.hh"
 #include "sim/random.hh"
 
 namespace hmcsim
 {
 
+namespace
+{
+/** Map the channel config onto the shared DDR4 storage engine. */
+MemoryBackendConfig
+backendFor(const DdrChannelConfig &cfg)
+{
+    MemoryBackendConfig backend;
+    backend.kind = BackendKind::Ddr4;
+    backend.ddrTimings = cfg.timings;
+    backend.ddrPolicy = cfg.policy;
+    backend.ddrBusBytesPerSecond = cfg.busBytesPerSecond;
+    backend.ddrTFaw = cfg.tFaw;
+    backend.ddrActivatesPerFaw = cfg.activatesPerFaw;
+    return backend;
+}
+
+BackendEnvironment
+environmentFor(const DdrChannelConfig &cfg)
+{
+    BackendEnvironment env;
+    env.numBanks = cfg.numBanks;
+    env.timings = cfg.timings;
+    env.policy = cfg.policy;
+    return env;
+}
+} // namespace
+
 DdrChannel::DdrChannel(const DdrChannelConfig &cfg)
     : cfg(cfg),
-      banks(cfg.numBanks),
-      bus(cfg.busBytesPerSecond),
-      // One "byte" of this regulator = one row activation; the rate
-      // enforces the tFAW average (4 ACTs / 30 ns ~ 133 M/s).
-      activates(static_cast<double>(cfg.activatesPerFaw) * 1e12 /
-                static_cast<double>(cfg.tFaw))
+      array(makeMemoryBackend(environmentFor(cfg), backendFor(cfg))),
+      bus(cfg.busBytesPerSecond)
 {
-    if (cfg.numBanks == 0)
-        fatal("DDR channel needs at least one bank");
 }
 
 Tick
 DdrChannel::access(Addr addr, Bytes bytes, bool is_write, Tick arrival)
 {
-    // Row-interleaved mapping: consecutive addresses stay within a
-    // row, rows round-robin across banks. This is what gives linear
-    // traffic its row-buffer locality on a conventional DIMM.
-    const Addr row_index = addr / cfg.timings.rowBytes;
-    const unsigned bank_idx =
-        static_cast<unsigned>(row_index % cfg.numBanks);
-    const auto row =
-        static_cast<std::uint32_t>(row_index / cfg.numBanks);
-
-    Tick start = arrival + cfg.fixedLatency;
-    // Row misses need an activation, which the tFAW window meters.
-    if (!banks[bank_idx].wouldHit(cfg.policy, row))
-        start = activates.admit(start, 1.0);
-    const BankAccessResult res = banks[bank_idx].access(
-        cfg.timings, cfg.policy, start, row, bytes, is_write);
+    // The backend does the row-interleaved mapping, tFAW metering, and
+    // bank timing; the channel adds its fixed controller/PHY latency
+    // in front and the shared data bus behind.
+    Packet pkt{};
+    pkt.cmd = is_write ? Command::Write : Command::Read;
+    pkt.addr = addr;
+    pkt.payload = bytes;
+    const BankAccessResult res =
+        array->accept(pkt, arrival + cfg.fixedLatency);
     const Tick done =
         bus.admit(res.dataReady, static_cast<double>(bytes));
 
@@ -62,10 +77,8 @@ DdrChannel::rowHitRate() const
 void
 DdrChannel::reset()
 {
-    for (auto &bank : banks)
-        bank.reset();
+    array->reset();
     bus.reset();
-    activates.reset();
     _stats = DdrChannelStats{};
 }
 

@@ -8,17 +8,25 @@
  * synchronous bus (Secs. I, II-C, IV-D). This module implements that
  * conventional organization so the contrast is measurable: linear
  * traffic enjoys row hits on DDR but gains nothing on HMC.
+ *
+ * The array model itself now lives in mem/ddr4_backend.* behind the
+ * MemoryBackend interface (shared with the vault controllers); this
+ * channel is a thin wrapper that keeps the standalone closed-loop
+ * measurement API alive. New experiment code should select the
+ * backend through ExperimentConfig (device.vault.backend) instead of
+ * driving this wrapper -- hmcsim-lint's deprecated-ddr-entry rule
+ * flags new callers.
  */
 
 #ifndef HMCSIM_BASELINE_DDR_CHANNEL_HH
 #define HMCSIM_BASELINE_DDR_CHANNEL_HH
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
-#include "dram/bank.hh"
 #include "dram/timings.hh"
 #include "link/link.hh"
+#include "mem/backend.hh"
 #include "sim/types.hh"
 
 namespace hmcsim
@@ -54,7 +62,8 @@ struct DdrChannelStats
 
 /**
  * Analytic DDR channel: row-interleaved mapping (consecutive
- * addresses fill a row, then move to the next bank).
+ * addresses fill a row, then move to the next bank). A wrapper over
+ * the Ddr4Backend storage engine plus the channel's shared data bus.
  */
 class DdrChannel
 {
@@ -81,10 +90,9 @@ class DdrChannel
 
   private:
     DdrChannelConfig cfg;
-    std::vector<Bank> banks;
+    /** The array model: mapping, tFAW metering, bank timing. */
+    std::unique_ptr<MemoryBackend> array;
     ThroughputRegulator bus;
-    /** Rate limiter standing in for the tFAW rolling window. */
-    ThroughputRegulator activates;
     DdrChannelStats _stats;
 };
 
@@ -100,6 +108,11 @@ struct DdrMeasurement
  * Drive the channel with a simple closed-loop of @p outstanding
  * requests (linear or random addressing) and measure sustained
  * bandwidth and average latency.
+ *
+ * @deprecated Standalone entry point kept for the existing baseline
+ * analyses; new code should sweep the ddr4 backend through the
+ * unified experiment path (--axis backend=ddr4) so results carry
+ * digests and flow through the caches and sinks.
  */
 DdrMeasurement measureDdrPattern(const DdrChannelConfig &cfg,
                                  bool linear, Bytes request_size,

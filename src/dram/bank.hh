@@ -18,26 +18,15 @@
 #include <vector>
 
 #include "dram/timings.hh"
+#include "mem/access_result.hh"
 #include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace hmcsim
 {
-
-/** Outcome of one bank access. */
-struct BankAccessResult
-{
-    /** When the first data beat is available on the vault bus. */
-    Tick dataReady;
-    /** When the bank can accept its next access. */
-    Tick bankFree;
-    /** Whether the access hit an open row (open-page policy only). */
-    bool rowHit;
-    /** When the bank actually began the access (after waiting out any
-     *  earlier row cycle); feeds the packet's tBankStart lifecycle
-     *  stamp. */
-    Tick start = 0;
-};
+// BankAccessResult now lives in mem/access_result.hh: it is the
+// MemoryBackend interface's return contract, shared by every storage
+// engine, not a Bank implementation detail.
 
 /** DRAM bank state machine. */
 class Bank

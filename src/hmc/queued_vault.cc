@@ -18,9 +18,15 @@ QueuedVaultController::QueuedVaultController(const QueuedVaultConfig &cfg,
       queue(queue),
       onComplete(std::move(on_complete)),
       bankState(cfg.base.numBanks),
-      banks(cfg.base.numBanks),
+      storage(makeMemoryBackend(
+          BackendEnvironment{cfg.base.numBanks, cfg.base.timings,
+                             cfg.base.policy, cfg.base.refreshEnabled,
+                             cfg.base.refreshMultiplier},
+          cfg.base.backend)),
       bankQueues(cfg.base.numBanks)
 {
+    if (storage->kind() == BackendKind::HmcDram)
+        fastHmc = static_cast<HmcDramBackend *>(storage.get());
 }
 
 void
@@ -57,9 +63,7 @@ QueuedVaultController::registerCheckers(CheckerRegistry &registry,
         }
         return {};
     });
-    registry.add(std::make_unique<BankStateChecker>(
-        name + ".banks", cfg.base.policy,
-        [this]() -> const std::vector<Bank> & { return banks; }));
+    storage->registerCheckers(registry, name);
     registry.addLambda(name + ".stats", [this](Tick) -> std::string {
         if (_stats.completed > _stats.accepted) {
             std::ostringstream out;
@@ -121,14 +125,12 @@ QueuedVaultController::startNext(unsigned bank_idx)
     Packet *pkt = bank_queue.front();
     bank_queue.pop_front();
 
-    const bool is_write = pkt->cmd != Command::Read;
     // A request that deferred on the bus stage starts now, not at its
     // (past) arrival time.
     const Tick earliest = pkt->tVaultArrive + cfg.base.controllerLatency;
     const Tick ready = earliest > queue.now() ? earliest : queue.now();
-    BankAccessResult res =
-        banks[bank_idx].access(cfg.base.timings, cfg.base.policy, ready,
-                               pkt->row, pkt->payload, is_write);
+    BankAccessResult res = fastHmc ? fastHmc->accept(*pkt, ready)
+                                   : storage->accept(*pkt, ready);
     pkt->tBankStart = res.start;
     if (pkt->cmd == Command::Atomic)
         res.dataReady += cfg.base.atomicLatency;
@@ -145,11 +147,10 @@ void
 QueuedVaultController::onBankDone(unsigned bank_idx, Packet *pkt)
 {
     (void)bank_idx;
-    const Bytes beat_span =
-        (pkt->addr % cfg.base.timings.beatBytes) + pkt->payload;
+    const DramTimings &t = storage->timings();
+    const Bytes beat_span = (pkt->addr % t.beatBytes) + pkt->payload;
     const Bytes bus_bytes =
-        (cfg.base.timings.beats(beat_span) + cfg.base.commandBeats) *
-        cfg.base.timings.beatBytes;
+        (t.beats(beat_span) + cfg.base.commandBeats) * t.beatBytes;
     busQueue.push_back({pkt, bus_bytes});
     grantBus();
 }
@@ -163,9 +164,9 @@ QueuedVaultController::grantBus()
     BusRequest req = std::move(busQueue.front());
     busQueue.pop_front();
 
-    const double bytes_per_ps =
-        static_cast<double>(cfg.base.timings.beatBytes) /
-        static_cast<double>(cfg.base.timings.tBeat);
+    const DramTimings &t = storage->timings();
+    const double bytes_per_ps = static_cast<double>(t.beatBytes) /
+                                static_cast<double>(t.tBeat);
     const Tick duration = static_cast<Tick>(
         static_cast<double>(req.busBytes) / bytes_per_ps);
     _stats.busBusy += duration;

@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "hmc/vault_controller.hh"
+#include "mem/backend.hh"
 #include "protocol/packet.hh"
 #include "protocol/packet_pool.hh"
 #include "sim/check.hh"
@@ -125,7 +127,14 @@ class QueuedVaultController
         bool busy = false;
     };
     std::vector<BankState> bankState;
-    std::vector<Bank> banks;
+    /** Storage engine shared with the analytic model's selection
+     *  (cfg.base.backend): the two reference implementations always
+     *  time the same array. */
+    std::unique_ptr<MemoryBackend> storage;
+    /** Devirtualized view of `storage` for the default HMC DRAM
+     *  array, mirroring VaultController's per-packet fast path;
+     *  null for every other backend kind. */
+    HmcDramBackend *fastHmc = nullptr;
     std::vector<std::deque<Packet *>> bankQueues;
 
     struct BusRequest

@@ -8,36 +8,35 @@ namespace hmcsim
 
 namespace
 {
-double
-busBytesPerSecond(const DramTimings &t)
+BackendEnvironment
+environmentFor(const VaultConfig &cfg)
 {
-    return static_cast<double>(t.beatBytes) * 1e12 /
-           static_cast<double>(t.tBeat);
+    BackendEnvironment env;
+    env.numBanks = cfg.numBanks;
+    env.timings = cfg.timings;
+    env.policy = cfg.policy;
+    env.refreshEnabled = cfg.refreshEnabled;
+    env.refreshMultiplier = cfg.refreshMultiplier;
+    return env;
 }
 } // namespace
 
 VaultController::VaultController(const VaultConfig &cfg)
     : cfg(cfg),
-      banks(cfg.numBanks),
-      nextRefresh(cfg.numBanks, 0),
-      dataBus(busBytesPerSecond(cfg.timings))
+      storage(makeMemoryBackend(environmentFor(cfg), cfg.backend)),
+      busTimings(&storage->timings()),
+      dataBus(storage->busBytesPerSecond())
 {
-    // Stagger initial refresh deadlines so banks do not refresh in
-    // lockstep (real controllers rotate REF commands).
-    const Tick interval = refreshInterval();
-    if (interval != 0) {
-        for (unsigned i = 0; i < cfg.numBanks; ++i)
-            nextRefresh[i] = interval * (i + 1) / cfg.numBanks;
-    }
+    // The factory's kind() is authoritative: the cast is safe exactly
+    // when the engine is the (final) HmcDramBackend.
+    if (storage->kind() == BackendKind::HmcDram)
+        fastHmc = static_cast<HmcDramBackend *>(storage.get());
 }
 
 Tick
 VaultController::refreshInterval() const
 {
-    if (!cfg.refreshEnabled || cfg.refreshMultiplier <= 0.0)
-        return 0;
-    return static_cast<Tick>(static_cast<double>(cfg.timings.tRefi) /
-                             cfg.refreshMultiplier);
+    return storage->refreshInterval();
 }
 
 void
@@ -45,19 +44,7 @@ VaultController::setRefresh(bool enabled, double multiplier)
 {
     cfg.refreshEnabled = enabled;
     cfg.refreshMultiplier = multiplier;
-}
-
-void
-VaultController::refreshDue(unsigned bank_idx, Tick now)
-{
-    const Tick interval = refreshInterval();
-    if (interval == 0)
-        return;
-    while (nextRefresh[bank_idx] <= now) {
-        banks[bank_idx].refresh(cfg.timings, nextRefresh[bank_idx]);
-        nextRefresh[bank_idx] += interval;
-        ++_stats.refreshes;
-    }
+    storage->setRefresh(enabled, multiplier);
 }
 
 Tick
@@ -80,16 +67,18 @@ Tick
 VaultController::serviceTimed(const Packet &pkt, Tick arrival,
                               Tick &bank_start)
 {
-    // Atomics modify in place: they occupy the bank like a write and
-    // pay the controller's ALU latency on top.
-    const bool is_write = pkt.cmd != Command::Read;
     const Tick start = arrival + cfg.controllerLatency;
 
-    refreshDue(pkt.bank, start);
-    Bank &bank = banks.at(pkt.bank);
-    BankAccessResult res = bank.access(
-        cfg.timings, cfg.policy, start, pkt.row, pkt.payload, is_write);
+    // The storage engine (closed-page HMC DRAM by default; see
+    // cfg.backend) books array time and reports the access tuple.
+    // The default engine is called through its devirtualized pointer
+    // so accept() inlines here; the branch predicts perfectly (one
+    // engine per vault for its whole lifetime).
+    BankAccessResult res = fastHmc ? fastHmc->accept(pkt, start)
+                                   : storage->accept(pkt, start);
     bank_start = res.start;
+    // Atomics modify in place: they occupy the bank like a write and
+    // pay the controller's ALU latency on top.
     if (pkt.cmd == Command::Atomic)
         res.dataReady += cfg.atomicLatency;
 
@@ -98,11 +87,10 @@ VaultController::serviceTimed(const Packet &pkt, Tick arrival,
     // A request that starts inside a 32 B beat wastes part of the
     // first beat (Sec. II-C: "starting or ending a request on a
     // 16-byte boundary uses the DRAM bus inefficiently").
-    const Bytes beat_span =
-        (pkt.addr % cfg.timings.beatBytes) + pkt.payload;
+    const DramTimings &t = *busTimings;
+    const Bytes beat_span = (pkt.addr % t.beatBytes) + pkt.payload;
     const Bytes bus_bytes =
-        (cfg.timings.beats(beat_span) + cfg.commandBeats) *
-        cfg.timings.beatBytes;
+        (t.beats(beat_span) + cfg.commandBeats) * t.beatBytes;
     const Tick bus_done =
         dataBus.admit(res.dataReady, static_cast<double>(bus_bytes));
 
@@ -127,8 +115,7 @@ VaultController::serviceTimed(const Packet &pkt, Tick arrival,
 void
 VaultController::refreshAll(Tick at)
 {
-    for (auto &bank : banks)
-        bank.refresh(cfg.timings, at);
+    storage->refreshAll(at);
 }
 
 void
@@ -143,22 +130,23 @@ VaultController::registerStats(StatRegistry &registry,
                       "atomic requests serviced", &_stats.atomics);
     registry.addValue((path / "row_hits").str(),
                       "open-page row-buffer hits", &_stats.rowHits);
-    registry.addValue((path / "refreshes").str(),
-                      "refresh cycles performed", &_stats.refreshes);
+    registry.add((path / "refreshes").str(),
+                 "refresh cycles performed", [this] {
+        return static_cast<double>(storage->refreshes());
+    });
     registry.addValue((path / "payload_bytes").str(),
                       "payload bytes moved", &_stats.payloadBytes);
     registry.add((path / "bus_busy_us").str(),
                  "TSV data-bus busy time",
                  [this] { return ticksToUs(dataBus.busyTime()); });
+    storage->registerStats(registry, path);
 }
 
 void
 VaultController::registerCheckers(CheckerRegistry &registry,
                                   const std::string &name) const
 {
-    registry.add(std::make_unique<BankStateChecker>(
-        name + ".banks", cfg.policy,
-        [this]() -> const std::vector<Bank> & { return banks; }));
+    storage->registerCheckers(registry, name);
     registry.addLambda(name + ".stats", [this](Tick) -> std::string {
         const std::uint64_t accesses =
             _stats.reads + _stats.writes + _stats.atomics;
@@ -184,14 +172,9 @@ VaultController::busUtilization(Tick elapsed) const
 void
 VaultController::reset()
 {
-    for (auto &bank : banks)
-        bank.reset();
+    storage->reset();
     dataBus.reset();
     _stats = VaultStats{};
-    const Tick interval = refreshInterval();
-    for (unsigned i = 0; i < cfg.numBanks; ++i)
-        nextRefresh[i] =
-            interval ? interval * (i + 1) / cfg.numBanks : 0;
 }
 
 } // namespace hmcsim

@@ -16,6 +16,7 @@
 #define HMCSIM_HMC_VAULT_CONTROLLER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dram/bank.hh"
@@ -23,6 +24,8 @@
 #include "sim/stat_registry.hh"
 #include "dram/timings.hh"
 #include "link/link.hh"
+#include "mem/backend.hh"
+#include "mem/hmc_dram_backend.hh"
 #include "protocol/packet.hh"
 #include "sim/types.hh"
 
@@ -53,6 +56,13 @@ struct VaultConfig
     bool refreshEnabled = false;
     /** Refresh-rate multiplier: 1 = nominal, 2 = hot (>85 C) rate. */
     double refreshMultiplier = 1.0;
+    /**
+     * Storage engine behind the vault controller: the HMC DRAM bank
+     * array (default, byte-identical to the pre-interface model), an
+     * open-page DDR4 channel, or an NVM tier (mem/backend.hh,
+     * docs/backends.md).
+     */
+    MemoryBackendConfig backend;
 };
 
 /** Aggregate statistics of one vault. */
@@ -100,7 +110,15 @@ class VaultController
     /** Current per-bank refresh interval in ticks (0 if disabled). */
     Tick refreshInterval() const;
 
-    const VaultStats &stats() const { return _stats; }
+    const VaultStats &
+    stats() const
+    {
+        // The refresh count lives in the storage engine; fold it in
+        // on read so service() stays free of per-packet virtual
+        // bookkeeping calls (bench_simulator_perf's dispatch guard).
+        _stats.refreshes = storage->refreshes();
+        return _stats;
+    }
 
     /**
      * Register this vault's counters under @p path. The vault must
@@ -116,7 +134,9 @@ class VaultController
     void registerCheckers(CheckerRegistry &registry,
                           const std::string &name) const;
 
-    const Bank &bank(unsigned idx) const { return banks.at(idx); }
+    /** The storage engine behind this vault. */
+    const MemoryBackend &backend() const { return *storage; }
+
     /** Utilization of the TSV data bus over @p elapsed ticks. */
     double busUtilization(Tick elapsed) const;
 
@@ -127,15 +147,21 @@ class VaultController
     Tick serviceTimed(const Packet &pkt, Tick arrival,
                       Tick &bank_start);
 
-    /** Catch the bank up on refreshes due by @p now. */
-    void refreshDue(unsigned bank_idx, Tick now);
-
     VaultConfig cfg;
-    std::vector<Bank> banks;
-    /** Next scheduled refresh per bank (staggered at start). */
-    std::vector<Tick> nextRefresh;
+    /** Storage engine selected by cfg.backend (mem/backend.hh). */
+    std::unique_ptr<MemoryBackend> storage;
+    /** Devirtualized view of `storage` when it is the default HMC
+     *  DRAM array: the per-packet accept() then inlines into
+     *  serviceTimed instead of going through the vtable, keeping the
+     *  interface inside bench_simulator_perf's <2% dispatch budget.
+     *  Null for every other backend kind. */
+    HmcDramBackend *fastHmc = nullptr;
+    /** storage->timings(), hoisted at construction: every backend
+     *  returns a reference to a member that never moves, and the
+     *  service hot path reads it per packet. */
+    const DramTimings *busTimings;
     ThroughputRegulator dataBus;
-    VaultStats _stats;
+    mutable VaultStats _stats;
 };
 
 } // namespace hmcsim

@@ -101,6 +101,15 @@ runExperiment(const ExperimentConfig &cfg, std::uint64_t *statDigest)
     return res;
 }
 
+MeasurementResult
+runDdrBaselineExperiment(const ExperimentConfig &cfg,
+                         const RunOptions &opts, RunArtifacts *artifacts)
+{
+    ExperimentConfig ddr = cfg;
+    ddr.device.vault.backend.kind = BackendKind::Ddr4;
+    return runExperiment(ddr, opts, artifacts);
+}
+
 SelfCheckResult
 runSelfCheck(const ExperimentConfig &cfg)
 {

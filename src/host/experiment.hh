@@ -137,6 +137,17 @@ MeasurementResult runExperiment(const ExperimentConfig &cfg,
 MeasurementResult runExperiment(const ExperimentConfig &cfg,
                                 std::uint64_t *statDigest);
 
+/**
+ * Deprecated compatibility shim (pre-backend API): runs @p cfg with
+ * the vault storage forced to the DDR4 backend. Equivalent to setting
+ * cfg.device.vault.backend.kind = BackendKind::Ddr4 and calling
+ * runExperiment. Prefer selecting the backend through the config --
+ * hmcsim-lint's deprecated-ddr-entry rule flags new callers.
+ */
+MeasurementResult runDdrBaselineExperiment(
+    const ExperimentConfig &cfg, const RunOptions &opts = {},
+    RunArtifacts *artifacts = nullptr);
+
 /** Outcome of a determinism self-check (two identical runs). */
 struct SelfCheckResult
 {

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The memory-backend interface's return contract.
+ *
+ * Every storage engine a vault can host (HMC DRAM bank array, DDR4
+ * channel, NVM tier) answers an accepted request with this tuple; it
+ * is what the analytic vault books its TSV bus from and what the
+ * event-driven vault schedules its completion events from. Promoted
+ * out of dram/bank.hh so the contract lives with the interface
+ * (mem/backend.hh) instead of with one implementation.
+ */
+
+#ifndef HMCSIM_MEM_ACCESS_RESULT_HH
+#define HMCSIM_MEM_ACCESS_RESULT_HH
+
+#include "sim/types.hh"
+
+namespace hmcsim
+{
+
+/** Outcome of one storage-array access. */
+struct BankAccessResult
+{
+    /** When the first data beat is available on the vault bus. */
+    Tick dataReady;
+    /** When the bank can accept its next access. */
+    Tick bankFree;
+    /** Whether the access hit an open row (open-page policy only). */
+    bool rowHit;
+    /** When the bank actually began the access (after waiting out any
+     *  earlier row cycle); feeds the packet's tBankStart lifecycle
+     *  stamp. */
+    Tick start = 0;
+};
+
+} // namespace hmcsim
+
+#endif // HMCSIM_MEM_ACCESS_RESULT_HH

@@ -1,0 +1,60 @@
+#include "mem/backend.hh"
+
+#include "mem/ddr4_backend.hh"
+#include "mem/hmc_dram_backend.hh"
+#include "mem/nvm_backend.hh"
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::HmcDram:
+        return "hmc";
+      case BackendKind::Ddr4:
+        return "ddr4";
+      case BackendKind::Nvm:
+        return "nvm";
+    }
+    return "unknown";
+}
+
+bool
+parseBackendKind(const std::string &name, BackendKind &out)
+{
+    if (name == "hmc" || name == "dram" || name == "hmc-dram") {
+        out = BackendKind::HmcDram;
+        return true;
+    }
+    if (name == "ddr4" || name == "ddr") {
+        out = BackendKind::Ddr4;
+        return true;
+    }
+    if (name == "nvm" || name == "pcm") {
+        out = BackendKind::Nvm;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<MemoryBackend>
+makeMemoryBackend(const BackendEnvironment &env,
+                  const MemoryBackendConfig &cfg)
+{
+    switch (cfg.kind) {
+      case BackendKind::HmcDram:
+        return std::make_unique<HmcDramBackend>(env);
+      case BackendKind::Ddr4:
+        return std::make_unique<Ddr4Backend>(env, cfg);
+      case BackendKind::Nvm:
+        return std::make_unique<NvmBackend>(env, cfg);
+    }
+    fatal("unknown memory backend kind %u",
+          static_cast<unsigned>(cfg.kind));
+    return nullptr;
+}
+
+} // namespace hmcsim

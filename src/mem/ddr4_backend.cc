@@ -1,0 +1,67 @@
+// lint:file(hot-path) -- backend accept() runs per packet on the model path: no std::function, HMCSIM_DCHECK-only invariants (enforced by hmcsim-lint's backend-hot-path rule).
+#include "mem/ddr4_backend.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace hmcsim
+{
+
+Ddr4Backend::Ddr4Backend(const BackendEnvironment &env,
+                         const MemoryBackendConfig &cfg)
+    : _timings(cfg.ddrTimings),
+      policy(cfg.ddrPolicy),
+      banks(env.numBanks),
+      // One "byte" of this regulator = one row activation; the rate
+      // enforces the tFAW average (4 ACTs / 30 ns ~ 133 M/s).
+      activates(static_cast<double>(cfg.ddrActivatesPerFaw) * 1e12 /
+                static_cast<double>(cfg.ddrTFaw)),
+      busRate(cfg.ddrBusBytesPerSecond)
+{
+    if (env.numBanks == 0)
+        fatal("DDR4 backend needs at least one bank");
+}
+
+BankAccessResult
+Ddr4Backend::accept(const Packet &pkt, Tick ready)
+{
+    const bool is_write = pkt.cmd != Command::Read;
+    // Row-interleaved mapping from the byte address: consecutive
+    // addresses stay within a row, rows round-robin across banks.
+    // This is what gives linear traffic its row-buffer locality on a
+    // conventional DIMM -- the vault's decoded bank/row fields encode
+    // HMC's low-order interleave, which is exactly the organization
+    // this backend exists to contrast against.
+    const Addr row_index = pkt.addr / _timings.rowBytes;
+    const unsigned bank_idx =
+        static_cast<unsigned>(row_index % banks.size());
+    const auto row =
+        static_cast<std::uint32_t>(row_index / banks.size());
+
+    Tick start = ready;
+    // Row misses need an activation, which the tFAW window meters.
+    if (!banks[bank_idx].wouldHit(policy, row))
+        start = activates.admit(start, 1.0);
+    return banks[bank_idx].access(_timings, policy, start, row,
+                                  pkt.payload, is_write);
+}
+
+void
+Ddr4Backend::registerCheckers(CheckerRegistry &registry,
+                              const std::string &name) const
+{
+    registry.add(std::make_unique<BankStateChecker>(
+        name + ".banks", policy,
+        [this]() -> const std::vector<Bank> & { return banks; }));
+}
+
+void
+Ddr4Backend::reset()
+{
+    for (auto &bank : banks)
+        bank.reset();
+    activates.reset();
+}
+
+} // namespace hmcsim

@@ -1,0 +1,63 @@
+// lint:file(hot-path) -- backend accept() runs per packet on the model path: no std::function, HMCSIM_DCHECK-only invariants (enforced by hmcsim-lint's backend-hot-path rule).
+#include "mem/hmc_dram_backend.hh"
+
+#include <memory>
+
+namespace hmcsim
+{
+
+HmcDramBackend::HmcDramBackend(const BackendEnvironment &env)
+    : env(env), banks(env.numBanks), nextRefresh(env.numBanks, 0)
+{
+    // Stagger initial refresh deadlines so banks do not refresh in
+    // lockstep (real controllers rotate REF commands).
+    const Tick interval = refreshInterval();
+    if (interval != 0) {
+        for (unsigned i = 0; i < env.numBanks; ++i)
+            nextRefresh[i] = interval * (i + 1) / env.numBanks;
+    }
+}
+
+double
+HmcDramBackend::busBytesPerSecond() const
+{
+    return static_cast<double>(env.timings.beatBytes) * 1e12 /
+           static_cast<double>(env.timings.tBeat);
+}
+
+void
+HmcDramBackend::setRefresh(bool enabled, double multiplier)
+{
+    env.refreshEnabled = enabled;
+    env.refreshMultiplier = multiplier;
+}
+
+void
+HmcDramBackend::refreshAll(Tick at)
+{
+    for (auto &bank : banks)
+        bank.refresh(env.timings, at);
+}
+
+void
+HmcDramBackend::registerCheckers(CheckerRegistry &registry,
+                                 const std::string &name) const
+{
+    registry.add(std::make_unique<BankStateChecker>(
+        name + ".banks", env.policy,
+        [this]() -> const std::vector<Bank> & { return banks; }));
+}
+
+void
+HmcDramBackend::reset()
+{
+    for (auto &bank : banks)
+        bank.reset();
+    numRefreshes = 0;
+    const Tick interval = refreshInterval();
+    for (unsigned i = 0; i < env.numBanks; ++i)
+        nextRefresh[i] =
+            interval ? interval * (i + 1) / env.numBanks : 0;
+}
+
+} // namespace hmcsim

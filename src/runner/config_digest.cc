@@ -69,6 +69,21 @@ mixTimings(Fnv1a &h, const DramTimings &t)
 }
 
 void
+mixBackend(Fnv1a &h, const MemoryBackendConfig &b)
+{
+    h.u64(static_cast<std::uint64_t>(b.kind));
+    mixTimings(h, b.ddrTimings);
+    h.u64(static_cast<std::uint64_t>(b.ddrPolicy));
+    h.f64(b.ddrBusBytesPerSecond);
+    h.u64(b.ddrTFaw);
+    h.u64(b.ddrActivatesPerFaw);
+    h.u64(b.nvmReadLatency);
+    h.u64(b.nvmWriteLatency);
+    h.u64(b.nvmWriteAck);
+    h.u64(b.nvmWriteQueueDepth);
+}
+
+void
 mixDevice(Fnv1a &h, const HmcDeviceConfig &d)
 {
     h.str(d.structure.name);
@@ -88,6 +103,7 @@ mixDevice(Fnv1a &h, const HmcDeviceConfig &d)
     h.u64(d.vault.atomicLatency);
     h.u64(d.vault.refreshEnabled ? 1 : 0);
     h.f64(d.vault.refreshMultiplier);
+    mixBackend(h, d.vault.backend);
 
     h.u64(static_cast<std::uint64_t>(d.maxBlock));
     h.u64(static_cast<std::uint64_t>(d.mapping));
@@ -138,7 +154,8 @@ configDigest(const ExperimentConfig &cfg, bool include_seed)
     Fnv1a h;
     // Version tag: bump when the serialization below changes, so
     // stale on-disk cache entries can never match new digests.
-    h.str("hmcsim.experiment.v1");
+    // v2: vault backend selection + per-backend parameters.
+    h.str("hmcsim.experiment.v2");
 
     mixPattern(h, cfg.pattern);
 
@@ -162,7 +179,8 @@ configDigest(const StreamExperimentConfig &cfg, bool include_seed)
     Fnv1a h;
     // Distinct version tag: a stream config can never collide with a
     // bandwidth/latency config, even with identical shared fields.
-    h.str("hmcsim.stream.v1");
+    // v2: vault backend selection + per-backend parameters.
+    h.str("hmcsim.stream.v2");
 
     mixPattern(h, cfg.pattern);
     h.u64(cfg.requestSize);

@@ -207,9 +207,12 @@ ResultCache::serialize(const CachedResult &value)
 {
     const MeasurementResult &m = value.result;
     std::ostringstream out;
-    // v2 added readLatencyP999Ns; v1 entries on disk become clean
-    // cache misses (re-simulated, then rewritten in v2).
-    out << "hmcsim-result v2\n";
+    // v3 extends the config digest with the vault-backend id and its
+    // parameters ("hmcsim.experiment.v2"); bumping the header turns
+    // every pre-backend v2 entry on disk into a clean cache miss
+    // (re-simulated, then rewritten in v3). v2 added
+    // readLatencyP999Ns over v1.
+    out << "hmcsim-result v3\n";
     out << "patternName " << m.patternName << '\n';
     out << "mix " << static_cast<std::uint64_t>(m.mix) << '\n';
     out << "requestSize " << m.requestSize << '\n';
@@ -234,7 +237,7 @@ ResultCache::deserialize(const std::string &text)
 {
     std::istringstream in(text);
     std::string header;
-    if (!std::getline(in, header) || header != "hmcsim-result v2")
+    if (!std::getline(in, header) || header != "hmcsim-result v3")
         return std::nullopt;
 
     CachedResult value;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "mem/backend.hh"
+
 namespace hmcsim
 {
 
@@ -52,6 +54,8 @@ JsonLinesSink::write(const SweepPointResult &p)
         << ",\"size\":" << m.requestSize
         << ",\"mode\":\"" << addressingModeName(p.config.mode) << "\""
         << ",\"ports\":" << p.config.numPorts
+        << ",\"backend\":\""
+        << backendName(p.config.device.vault.backend.kind) << "\""
         << ",\"seed\":" << p.config.seed
         << ",\"raw_gbps\":" << fmtDouble(m.rawGBps)
         << ",\"mrps\":" << fmtDouble(m.mrps)
@@ -92,7 +96,8 @@ void
 CsvSink::write(const SweepPointResult &p)
 {
     if (!wroteHeader) {
-        out << "digest,pattern,mix,size,mode,ports,seed,raw_gbps,mrps,"
+        out << "digest,pattern,mix,size,mode,ports,backend,seed,"
+               "raw_gbps,mrps,"
                "read_mrps,write_mrps,read_payload_gbps,"
                "write_payload_gbps,read_lat_avg_ns,read_lat_min_ns,"
                "read_lat_max_ns,read_lat_count,write_lat_avg_ns,"
@@ -112,7 +117,9 @@ CsvSink::write(const SweepPointResult &p)
     out << fmtHex64(p.digest) << ',' << m.patternName << ','
         << requestMixName(m.mix) << ',' << m.requestSize << ','
         << addressingModeName(p.config.mode) << ','
-        << p.config.numPorts << ',' << p.config.seed << ','
+        << p.config.numPorts << ','
+        << backendName(p.config.device.vault.backend.kind) << ','
+        << p.config.seed << ','
         << fmtDouble(m.rawGBps) << ',' << fmtDouble(m.mrps) << ','
         << fmtDouble(m.readMrps) << ',' << fmtDouble(m.writeMrps) << ','
         << fmtDouble(m.readPayloadGBps) << ','

@@ -43,22 +43,30 @@ SweepAxes::expand() const
         modes.empty() ? std::vector<AddressingMode>{base.mode} : modes;
     const auto portAxis =
         ports.empty() ? std::vector<unsigned>{base.numPorts} : ports;
+    const auto backendAxis =
+        backends.empty()
+            ? std::vector<BackendKind>{base.device.vault.backend.kind}
+            : backends;
 
     std::vector<ExperimentConfig> out;
     out.reserve(patternAxis.size() * mixAxis.size() * sizeAxis.size() *
-                modeAxis.size() * portAxis.size());
+                modeAxis.size() * portAxis.size() *
+                backendAxis.size());
     for (const AccessPattern &pattern : patternAxis) {
         for (const RequestMix mix : mixAxis) {
             for (const Bytes size : sizeAxis) {
                 for (const AddressingMode mode : modeAxis) {
                     for (const unsigned numPorts : portAxis) {
-                        ExperimentConfig cfg = base;
-                        cfg.pattern = pattern;
-                        cfg.mix = mix;
-                        cfg.requestSize = size;
-                        cfg.mode = mode;
-                        cfg.numPorts = numPorts;
-                        out.push_back(std::move(cfg));
+                        for (const BackendKind backend : backendAxis) {
+                            ExperimentConfig cfg = base;
+                            cfg.pattern = pattern;
+                            cfg.mix = mix;
+                            cfg.requestSize = size;
+                            cfg.mode = mode;
+                            cfg.numPorts = numPorts;
+                            cfg.device.vault.backend.kind = backend;
+                            out.push_back(std::move(cfg));
+                        }
                     }
                 }
             }

@@ -13,7 +13,8 @@
  * CI's --jobs 1 vs --jobs 2 JSONL diff):
  *
  *  1. Axis expansion is canonical: patterns outermost, then mix,
- *     size, mode, ports. The job list is a pure function of the axes.
+ *     size, mode, ports, backend. The job list is a pure function of
+ *     the axes.
  *  2. Per-job seeds derive from sweepSeed ^ configDigest(cfg, no
  *     seed) -- content, never submission order or thread identity.
  *  3. Workers write results into pre-assigned slots; sinks observe
@@ -63,6 +64,10 @@ struct SweepAxes
     std::vector<Bytes> sizes;
     std::vector<AddressingMode> modes;
     std::vector<unsigned> ports;
+    /** Vault storage engines (mem/backend.hh); innermost axis. Each
+     *  point keeps the base config's backend parameters and swaps
+     *  only the kind. */
+    std::vector<BackendKind> backends;
     /** Windows, device overrides, and calibration for every point. */
     ExperimentConfig base;
 

@@ -1,0 +1,10 @@
+// Seeded violation for `backend-hot-path`: a storage-engine
+// implementation (filename ends in _backend.cc) with no
+// lint:allow-style hot-path file tag. The rule reports line 1.
+#include "mem/backend.hh"
+
+int
+backendStub()
+{
+    return 0;
+}

@@ -104,6 +104,46 @@ TEST(LintRules, MutexUnguardedFiresOnlyOnUnannotatedMutex)
               expect("mutex_unguarded.cc", 9, "mutex-unguarded"));
 }
 
+TEST(LintRules, DeprecatedDdrEntryFiresOnBothEntryPoints)
+{
+    // Lines 12-13 call the two deprecated standalone entry points;
+    // the comment mention on line 4 must stay silent.
+    EXPECT_EQ(machineOutput("deprecated_ddr_entry.cc"),
+              expect("deprecated_ddr_entry.cc", 12,
+                     "deprecated-ddr-entry") +
+                  expect("deprecated_ddr_entry.cc", 13,
+                         "deprecated-ddr-entry"));
+}
+
+TEST(LintRules, BackendHotPathFiresOnUntaggedBackendFile)
+{
+    EXPECT_EQ(machineOutput("plain_backend.cc"),
+              expect("plain_backend.cc", 1, "backend-hot-path"));
+}
+
+TEST(LintRules, BackendHotPathIgnoresTaggedAndUnrelatedFiles)
+{
+    using hmcsim::lint::lintFile;
+    EXPECT_TRUE(
+        lintFile("src/mem/nvm_backend.cc",
+                 "// lint:file(hot-path) -- per-packet accept()\n"
+                 "int x;\n")
+            .empty());
+    EXPECT_TRUE(lintFile("src/mem/backend.cc", "int x;\n").empty());
+}
+
+TEST(LintSuppressions, DeprecatedDdrShimFilesAllowlisted)
+{
+    // The shim definition files are exempt via the built-in
+    // allowlist; the same text anywhere else fires.
+    const std::string call = "measureDdrPattern(cfg, true, 64, 8, 1);\n";
+    EXPECT_TRUE(
+        lintFile("repo/src/baseline/ddr_channel.cc", call).empty());
+    EXPECT_TRUE(
+        lintFile("repo/src/host/experiment.hh", call).empty());
+    EXPECT_EQ(lintFile("repo/src/hmc/device.cc", call).size(), 1U);
+}
+
 TEST(LintSuppressions, SameLineAndCommentAboveAllow)
 {
     EXPECT_EQ(machineOutput("suppressed.cc"), "");
@@ -144,7 +184,8 @@ TEST(LintEngine, EveryRuleHasAFiringFixture)
         "nondeterminism.cc",     "unordered_iteration.cc",
         "pointer_keyed_order.cc", "hot_std_function.cc",
         "hot_check.cc",          "hexfloat.cc",
-        "mutex_unguarded.cc"};
+        "mutex_unguarded.cc",    "deprecated_ddr_entry.cc",
+        "plain_backend.cc"};
     std::set<std::string> fired;
     for (const std::string &name : fixtures)
         for (const Finding &f : lintPath(fixture(name)))

@@ -161,8 +161,14 @@ TEST(ConfigDigest, EveryFieldChangesTheDigest)
     digests.insert(mutated([](ExperimentConfig &c) {
         c.device.vault.timings.tRcd += 1;
     }));
-    // All 11 distinct: no mutation collided with another or with ref.
-    EXPECT_EQ(digests.size(), 11u);
+    digests.insert(mutated([](ExperimentConfig &c) {
+        c.device.vault.backend.kind = BackendKind::Nvm;
+    }));
+    digests.insert(mutated([](ExperimentConfig &c) {
+        c.device.vault.backend.nvmWriteLatency += 1;
+    }));
+    // All 13 distinct: no mutation collided with another or with ref.
+    EXPECT_EQ(digests.size(), 13u);
 }
 
 TEST(ConfigDigest, SeedExcludedOnRequest)
@@ -285,6 +291,10 @@ TEST(ResultCache, SerializationRoundTripsBitExactly)
     // Pre-p999 (v1) entries on disk are rejected as clean misses.
     EXPECT_FALSE(
         ResultCache::deserialize("hmcsim-result v1\nnope").has_value());
+    // Pre-backend (v2) entries carry digests from the v1 config
+    // serialization; they too must become clean misses.
+    EXPECT_FALSE(
+        ResultCache::deserialize("hmcsim-result v2\nnope").has_value());
 }
 
 TEST(ResultCache, PersistsAcrossInstances)

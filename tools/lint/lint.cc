@@ -22,6 +22,13 @@ namespace
 const std::vector<std::pair<std::string, std::string>> kFileAllowlist = {
     // The one audited wall-clock source (timing metadata only).
     {"src/sim/wallclock.hh", "nondeterminism"},
+    // The deprecated standalone DDR baseline entry points live (and
+    // may reference themselves) in these four files; the rule exists
+    // to flag *new* callers elsewhere.
+    {"src/baseline/ddr_channel.cc", "deprecated-ddr-entry"},
+    {"src/baseline/ddr_channel.hh", "deprecated-ddr-entry"},
+    {"src/host/experiment.cc", "deprecated-ddr-entry"},
+    {"src/host/experiment.hh", "deprecated-ddr-entry"},
 };
 
 const std::vector<RuleInfo> &
@@ -76,6 +83,27 @@ ruleTable()
          "original measurement (docs/runner.md)",
          "print doubles with %a (C99 hexfloat) and parse with "
          "strtod, as ResultCache::serialize does"},
+        {"deprecated-ddr-entry", "",
+         "call to a deprecated standalone DDR baseline entry point "
+         "(measureDdrPattern / runDdrBaselineExperiment)",
+         "the DDR4 organization is a vault storage backend now "
+         "(mem/backend.hh); the standalone entry points survive only "
+         "as compatibility shims for the existing baseline analyses "
+         "(docs/backends.md)",
+         "select the backend through the config instead: set "
+         "device.vault.backend.kind = BackendKind::Ddr4, or sweep "
+         "--axis backend=ddr4, and run the unified experiment path"},
+        {"backend-hot-path", "",
+         "a *_backend.cc storage-engine implementation missing the "
+         "lint:file(hot-path) tag",
+         "backend accept() runs once per packet on the model path; "
+         "the hot-path tag arms the std::function and HMCSIM_CHECK "
+         "rules that keep that path allocation- and branch-free "
+         "(docs/performance.md)",
+         "start the backend implementation with a "
+         "'// lint:file(hot-path) -- <why>' comment and keep its "
+         "accept() path free of std::function and release-mode "
+         "checks"},
         {"mutex-unguarded", "",
          "a mutex member with no GUARDED_BY(name) anywhere in the "
          "file",
@@ -508,6 +536,40 @@ checkMutexUnguarded(const FileContext &ctx, std::vector<Finding> &out)
     }
 }
 
+void
+checkDeprecatedDdrEntry(const FileContext &ctx,
+                        std::vector<Finding> &out)
+{
+    static const std::regex re(
+        R"(\b(measureDdrPattern|runDdrBaselineExperiment)\s*\()");
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        if (std::regex_search(ctx.code[i], re)) {
+            addFinding(ctx, out, static_cast<int>(i) + 1,
+                       "deprecated-ddr-entry",
+                       "deprecated standalone DDR baseline entry "
+                       "point; select the ddr4 backend via the "
+                       "config");
+        }
+    }
+}
+
+void
+checkBackendHotPath(const FileContext &ctx, std::vector<Finding> &out)
+{
+    // Path-gated rather than tag-gated: the point is to catch the
+    // *absence* of the tag on storage-engine implementations.
+    static const std::string suffix = "_backend.cc";
+    const std::string &p = ctx.path;
+    if (p.size() < suffix.size() ||
+        p.compare(p.size() - suffix.size(), suffix.size(), suffix) != 0)
+        return;
+    if (ctx.tags.count("hot-path") == 0) {
+        addFinding(ctx, out, 1, "backend-hot-path",
+                   "storage-engine implementation without "
+                   "lint:file(hot-path)");
+    }
+}
+
 using CheckFn = void (*)(const FileContext &, std::vector<Finding> &);
 
 const std::vector<std::pair<std::string, CheckFn>> &
@@ -520,6 +582,8 @@ checkTable()
         {"hot-std-function", &checkHotStdFunction},
         {"hot-check", &checkHotCheck},
         {"hexfloat-persistence", &checkHexfloatPersistence},
+        {"deprecated-ddr-entry", &checkDeprecatedDdrEntry},
+        {"backend-hot-path", &checkBackendHotPath},
         {"mutex-unguarded", &checkMutexUnguarded},
     };
     return checks;
