@@ -90,8 +90,15 @@ printHelp(std::FILE *out)
         "(default: cores)\n"
         "  --axis K=V1,V2,...         sweep axis, repeatable; K is one\n"
         "                             of vaults, banks, mix, size, mode,\n"
-        "                             ports, backend (default: paper\n"
-        "                             pattern axis, ro, 128 B, hmc)\n"
+        "                             ports, backend, measure_us\n"
+        "                             (default: paper pattern axis, ro,\n"
+        "                             128 B, hmc)\n"
+        "  --warm-start               share one warm-up per group of\n"
+        "                             points differing only in measure\n"
+        "                             window (fork after warm-up)\n"
+        "  --same-seeds               keep caller seeds instead of\n"
+        "                             deriving per-point seeds (lets a\n"
+        "                             measure_us axis share warm-ups)\n"
         "  --out FILE                 JSON-lines results   "
         "(\"-\" = stdout)\n"
         "  --csv-out FILE             CSV results\n"
@@ -455,6 +462,10 @@ runSweepCommand(int argc, char **argv, int first)
             csvPath = next(argc, argv, i);
         } else if (arg == "--cache") {
             cacheDir = next(argc, argv, i);
+        } else if (arg == "--warm-start") {
+            opts.warmStart = true;
+        } else if (arg == "--same-seeds") {
+            opts.deriveSeeds = false;
         } else if (arg == "--timing") {
             timing = true;
         } else if (parseTraceFlag(trace, argc, argv, i)) {
@@ -506,6 +517,10 @@ runSweepCommand(int argc, char **argv, int first)
                     if (!parseBackendKind(value, kind))
                         usage();
                     axes.backends.push_back(kind);
+                } else if (key == "measure_us") {
+                    axes.measures.push_back(
+                        std::strtoull(value.c_str(), nullptr, 0) *
+                        tickUs);
                 } else {
                     usage();
                 }

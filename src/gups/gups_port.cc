@@ -1,12 +1,14 @@
 // lint:file(hot-path) -- event-core file: allocation-free callables (no std::function) and HMCSIM_DCHECK-only invariants, enforced by hmcsim-lint.
 #include "gups/gups_port.hh"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <utility>
 
 #include "sim/check.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "trace/lifecycle.hh"
 
 namespace hmcsim
@@ -107,7 +109,39 @@ GupsPort::scheduleIssueAt(Tick earliest)
     issuePending = true;
     const Tick when =
         nextIssueAllowed > earliest ? nextIssueAllowed : earliest;
-    queue.schedule(when, [this] { issueOne(); });
+    queue.schedule(when, IssueEvent{this});
+}
+
+void
+GupsPort::IssueEvent::relocate(const SnapshotFixup &fixup)
+{
+    self = fixup.translate(self);
+}
+
+void
+GupsPort::restoreFrom(const GupsPort &src, SnapshotFixup &fixup)
+{
+    fixup.mapObject(&src, this);
+    addrGen = src.addrGen;
+    tags = src.tags;
+    writeCredits = src.writeCredits;
+    outstandingReads = src.outstandingReads;
+    outstandingWrites = src.outstandingWrites;
+    pendingRmwWrites = src.pendingRmwWrites;
+    running = src.running;
+    issuePending = src.issuePending;
+    nextIssueAllowed = src.nextIssueAllowed;
+    generatedOps = src.generatedOps;
+    nextPacketId = src.nextPacketId;
+    std::copy(std::begin(src.addrWindow), std::end(src.addrWindow),
+              std::begin(addrWindow));
+    addrWindowPos = src.addrWindowPos;
+    arrivalByTag = src.arrivalByTag;
+    // Raw batch copy, deliberately not a flush: flushing would mutate
+    // the (shared, possibly concurrently forked) source.
+    readBatch = src.readBatch;
+    writeBatch = src.writeBatch;
+    _stats = src._stats;
 }
 
 void

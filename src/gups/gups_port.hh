@@ -32,6 +32,7 @@ namespace hmcsim
 {
 
 class PacketTracer;
+class SnapshotFixup;
 
 /** GUPS ports instantiated on the FPGA (one of ten is reserved). */
 constexpr unsigned gupsPortCount = 9;
@@ -191,6 +192,28 @@ class GupsPort
     {
         return outstandingReads + outstandingWrites;
     }
+    const GupsPortConfig &config() const { return cfg; }
+
+    /** The port's one self-scheduled event, named (instead of an
+     *  inline lambda) so simulator fork can recognize it by invoke
+     *  thunk and relocate its pointer (sim/snapshot.hh). */
+    struct IssueEvent // lint:snapshot-state
+    {
+        GupsPort *self; // lint:allow(snapshot-safe, relocated through the fork fixup map)
+        void operator()() { self->issueOne(); }
+        void relocate(const SnapshotFixup &fixup);
+    };
+
+    /**
+     * Become a state copy of @p src for simulator fork: RNG stream,
+     * tag pool, credits, pending rw writes, issue gating, the
+     * pre-generated address window, and the buffered latency batches
+     * (copied raw, never flushed -- the source stays untouched so
+     * concurrent forks of one warm port are safe). Must run on a
+     * freshly built port with identical configuration; registers the
+     * src -> this mapping in @p fixup.
+     */
+    void restoreFrom(const GupsPort &src, SnapshotFixup &fixup);
 
   private:
     /** Issue-window depth: addresses pre-generated per refill so the

@@ -114,6 +114,22 @@ class HmcDevice
 
     void reset();
 
+    /**
+     * Become a state copy of @p src for simulator fork
+     * (sim/snapshot.hh): per-vault backend/bus state plus device
+     * counters. The address mapper is pure configuration and stays as
+     * constructed. Must run on a freshly built device with identical
+     * configuration; read-only on @p src.
+     */
+    void
+    restoreFrom(const HmcDevice &src)
+    {
+        for (std::size_t i = 0; i < vaults.size(); ++i)
+            vaults[i]->restoreFrom(*src.vaults[i]);
+        _stats = src._stats;
+        thermalShutdown = src.thermalShutdown;
+    }
+
   private:
     HmcDeviceConfig cfg;
     AddressMapper _mapper;

@@ -53,6 +53,23 @@ struct QueuedVaultConfig
      * 0 = unbounded, which matches the analytic model's booking.
      */
     unsigned busQueueLimit = 0;
+    /**
+     * Time-stepped batch execution: instead of three events per
+     * request (bank done, bank free, bus complete), the vault books
+     * each request's whole bank timeline at offer time against an SoA
+     * bank-free array, sequences the data bus from a ready-ordered
+     * heap, and advances everything under one armed timer that also
+     * bulk-steps the storage engine (MemoryBackend::stepBatch --
+     * refresh catch-up, NVM drain retirement). Both modes grant the
+     * bus by (data-ready time, request age) -- age-based arbitration,
+     * so equal-ready ties go to the older request -- which makes
+     * completion times bit-identical to the micro model for per-bank-
+     * state backends (HMC DRAM, NVM; DDR4's shared-tFAW regulator
+     * makes multi-bank accept order significant, so only its single-
+     * bank configs match). Requires unbounded queues (backpressure
+     * retries need per-event granularity; checked fatal).
+     */
+    bool batched = false;
 };
 
 /** Statistics of the queued vault. */
@@ -93,6 +110,10 @@ class QueuedVaultController
 
     const QueuedVaultStats &stats() const { return _stats; }
 
+    /** The vault's storage engine (inspection; tests use this to
+     *  observe backend-side batch bookkeeping). */
+    const MemoryBackend &backend() const { return *storage; }
+
     /** Requests currently queued at bank @p idx. */
     std::size_t queueDepth(unsigned idx) const
     {
@@ -104,10 +125,32 @@ class QueuedVaultController
     void startNext(unsigned bank_idx);
 
     /** Bank finished its array access; contend for the data bus. */
-    void onBankDone(unsigned bank_idx, Packet *pkt);
+    void onBankDone(unsigned bank_idx, Packet *pkt,
+                    std::uint64_t offer_seq);
 
     /** Grant the bus to the next waiting transfer, if any. */
     void grantBus();
+
+    /** Queue a grant attempt for the current tick (coalesced). */
+    void scheduleGrant();
+
+    /** TSV bus footprint of @p pkt (command beats + aligned data). */
+    Bytes busBytesFor(const Packet &pkt) const;
+
+    /** Batched-mode offer: book the bank timeline eagerly. */
+    bool offerBatched(const Packet &pkt);
+
+    /** Batched-mode timer body: deliver due completions, bulk-step
+     *  the storage engine, sequence newly-safe bus transfers, and
+     *  re-arm for the next due tick. Idempotent. */
+    void processDue();
+
+    /** Earliest pending batched deadline, or 0 when none pending
+     *  (@p any set accordingly). */
+    Tick nextDue(bool &any) const;
+
+    /** Guarantee the timer fires no later than @p at. */
+    void ensureArmed(Tick at);
 
     QueuedVaultConfig cfg;
     EventQueue &queue;
@@ -135,15 +178,82 @@ class QueuedVaultController
      *  array, mirroring VaultController's per-packet fast path;
      *  null for every other backend kind. */
     HmcDramBackend *fastHmc = nullptr;
-    std::vector<std::deque<Packet *>> bankQueues;
+
+    /** A request waiting at a bank, stamped with its admission order
+     *  (the age the bus arbiter breaks ties with). */
+    struct QueuedRequest
+    {
+        Packet *pkt;
+        std::uint64_t offerSeq;
+    };
+    std::vector<std::deque<QueuedRequest>> bankQueues;
 
     struct BusRequest
     {
         Packet *pkt;
         Bytes busBytes;
+        /** Tick the bank data became ready (= stage-entry time). */
+        Tick dataReady;
+        std::uint64_t offerSeq;
     };
+    /** Waiting transfers in (dataReady, offerSeq) order: entries
+     *  arrive in dataReady order, and onBankDone reorders the
+     *  equal-dataReady tail by age (offerSeq). */
     std::deque<BusRequest> busQueue;
     bool busBusy = false;
+    /** A same-tick grant event is already queued. Grants are never
+     *  made inline: every bank-done event of the current tick must
+     *  insert first so age arbitration sees the full candidate set
+     *  (same-tick scheduled events run after all pre-scheduled
+     *  ones). */
+    bool grantPending = false;
+
+    // --- Batched mode (cfg.batched) ---------------------------------
+    // Same (dataReady, offerSeq) grant order as the micro bus stage,
+    // as a heap instead of an incrementally sorted FIFO. Committing
+    // the whole dataReady <= now prefix at a timer tick preserves the
+    // global order: any future offer at tick t > now yields
+    // dataReady > t > now, strictly after everything committed.
+    struct BusEntry
+    {
+        Tick dataReady;
+        std::uint64_t offerSeq;
+        Packet *pkt;
+        Bytes busBytes;
+    };
+    /** std::push_heap comparator: max-heap inverted into a min-heap
+     *  on the (dataReady, offerSeq) key. */
+    struct BusEntryAfter
+    {
+        bool
+        operator()(const BusEntry &a, const BusEntry &b) const
+        {
+            if (a.dataReady != b.dataReady)
+                return a.dataReady > b.dataReady;
+            return a.offerSeq > b.offerSeq;
+        }
+    };
+
+    /** When bank b's previously booked access frees the array (SoA:
+     *  the only per-bank state the batched offer path touches). */
+    std::vector<Tick> lastBankFree;
+    /** Transfers waiting for their bank data (min-heap, key above). */
+    std::vector<BusEntry> busHeap;
+    /** Sequenced bus completions, monotone in `at` because grants
+     *  chain busFreeAt. */
+    struct PendingDone
+    {
+        Tick at;
+        Packet *pkt;
+    };
+    std::deque<PendingDone> pendingDone;
+    Tick busFreeAt = 0;
+    std::uint64_t nextOfferSeq = 0;
+    /** Single armed timer: when armed, it fires at armedAt and
+     *  armedAt <= every pending deadline (superseded timer events
+     *  identify themselves by firing at a tick != armedAt). */
+    bool timerArmed = false;
+    Tick armedAt = 0;
 
     QueuedVaultStats _stats;
 };

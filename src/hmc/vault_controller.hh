@@ -140,6 +140,22 @@ class VaultController
     /** Utilization of the TSV data bus over @p elapsed ticks. */
     double busUtilization(Tick elapsed) const;
 
+    /**
+     * Become a state copy of @p src for simulator fork
+     * (sim/snapshot.hh): backend bank/drain state, the TSV-bus
+     * horizon, and counters. Must run on a freshly built vault with
+     * identical configuration; the constructor-set storage/busTimings/
+     * fastHmc pointers keep pointing at this vault's own storage.
+     * Read-only on @p src.
+     */
+    void
+    restoreFrom(const VaultController &src)
+    {
+        storage->restoreFrom(*src.storage);
+        dataBus = src.dataBus;
+        _stats = src._stats;
+    }
+
     void reset();
 
   private:

@@ -1,6 +1,7 @@
 #include "host/ac510.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "trace/lifecycle.hh"
 
 namespace hmcsim
@@ -105,6 +106,49 @@ Ac510Module::registerStats(StatRegistry &registry,
     // is unchanged (tested in tests/test_tracing.cc).
     if (cfg.tracer)
         cfg.tracer->registerStats(registry, path / "trace");
+}
+
+std::unique_ptr<Ac510Module>
+Ac510Module::fork() const
+{
+    // Config-time validation of the fork restrictions.
+    // lint:allow(hot-check)
+    HMCSIM_CHECK(cfg.tracer == nullptr,
+                 "fork does not support lifecycle tracing (the tracer "
+                 "is caller-owned state outside the snapshot)");
+    for (const auto &port : ports) {
+        // lint:allow(hot-check)
+        HMCSIM_CHECK(port->config().arrivals == nullptr,
+                     "fork does not support open-loop arrival feeds "
+                     "(the feed is caller-owned state outside the "
+                     "snapshot)");
+    }
+
+    auto fork_module = std::make_unique<Ac510Module>(cfg);
+
+    // Component state first: the controller's restore clones the
+    // packet pool and registers its block extents in the fixup map,
+    // which event relocation below depends on.
+    SnapshotFixup fixup;
+    fork_module->_controller->restoreFrom(*_controller, fixup);
+    fork_module->_device->restoreFrom(*_device);
+    for (std::size_t i = 0; i < ports.size(); ++i)
+        fork_module->ports[i]->restoreFrom(*ports[i], fixup);
+
+    // Pending events: the audited main-path capture set. Anything
+    // else in the queue (test scaffolding, replay feeds) makes
+    // cloneEventQueue abort rather than fork a silently wrong world.
+    const std::vector<EventRelocator> relocators = {
+        makeEventRelocator<GupsPort::IssueEvent>("gups.issue"),
+        makeEventRelocator<HmcController::CubeArriveEvent>(
+            "controller.cube_arrive"),
+        makeEventRelocator<HmcController::ResponseReadyEvent>(
+            "controller.response_ready"),
+        makeEventRelocator<HmcController::DeliveredEvent>(
+            "controller.delivered"),
+    };
+    cloneEventQueue(_queue, fork_module->_queue, fixup, relocators);
+    return fork_module;
 }
 
 GupsPortStats

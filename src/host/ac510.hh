@@ -111,6 +111,24 @@ class Ac510Module
     /** The module's checker registry (empty until enabled). */
     CheckerRegistry &checkers() { return _checkers; }
 
+    /**
+     * Fork this simulator: build a fresh module from the same config
+     * and copy the complete dynamic state into it -- backend/bank
+     * state, link serializers and RNG streams, port generators, the
+     * packet pool, and every pending event (relocated through a
+     * SnapshotFixup pointer map; sim/snapshot.hh). The fork then runs
+     * exactly the event sequence this module would have run, producing
+     * byte-identical statistics (tests/test_snapshot_fork.cc).
+     *
+     * Read-only on this module, so multiple threads may fork one
+     * quiescent warm module concurrently (the sweep runner's
+     * warm-start mode relies on this; see runner/sweep.hh). Restricted
+     * to the audited main-path configurations: tracing and open-loop
+     * arrival feeds are rejected, and an unrecognized pending event
+     * type is fatal.
+     */
+    std::unique_ptr<Ac510Module> fork() const;
+
     EventQueue &queue() { return _queue; }
     HmcDevice &device() { return *_device; }
     HmcController &controller() { return *_controller; }

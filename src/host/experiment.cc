@@ -36,28 +36,18 @@ makeSystemConfig(const ExperimentConfig &cfg)
     return sys;
 }
 
-MeasurementResult
-runExperiment(const ExperimentConfig &cfg, const RunOptions &opts,
-              RunArtifacts *artifacts)
+namespace
 {
-    Ac510Config sys = makeSystemConfig(cfg);
-    std::optional<PacketTracer> tracer;
-    if (opts.trace.enabled) {
-        tracer.emplace(opts.trace);
-        sys.tracer = &*tracer;
-    }
 
-    Ac510Module module(sys);
-    StatRegistry registry;
-    if (artifacts)
-        module.registerStats(registry, StatPath("system"));
-    module.start();
-    module.runUntil(cfg.warmup);
-    module.resetPortStats();
-    module.runUntil(cfg.warmup + cfg.measure);
-    if (artifacts)
-        artifacts->statDigest = registry.digest();
-
+/**
+ * Fold the module's aggregate port counters into the paper's plot
+ * units. Shared verbatim by the cold (runExperiment) and warm-start
+ * (runExperimentFrom) paths, so a forked run can never diverge from a
+ * cold run in how the measurement is reported.
+ */
+MeasurementResult
+summarize(const Ac510Module &module, const ExperimentConfig &cfg)
+{
     const GupsPortStats agg = module.aggregateStats();
     const double seconds = ticksToSeconds(cfg.measure);
 
@@ -82,12 +72,87 @@ runExperiment(const ExperimentConfig &cfg, const RunOptions &opts,
         res.readLatencyP99Ns = agg.readLatencyHistNs.quantile(0.99);
         res.readLatencyP999Ns = agg.readLatencyHistNs.quantile(0.999);
     }
+    return res;
+}
+
+} // namespace
+
+MeasurementResult
+runExperiment(const ExperimentConfig &cfg, const RunOptions &opts,
+              RunArtifacts *artifacts)
+{
+    Ac510Config sys = makeSystemConfig(cfg);
+    std::optional<PacketTracer> tracer;
+    if (opts.trace.enabled) {
+        tracer.emplace(opts.trace);
+        sys.tracer = &*tracer;
+    }
+
+    Ac510Module module(sys);
+    StatRegistry registry;
+    if (artifacts)
+        module.registerStats(registry, StatPath("system"));
+    module.start();
+    module.runUntil(cfg.warmup);
+    module.resetPortStats();
+    module.runUntil(cfg.warmup + cfg.measure);
+    if (artifacts)
+        artifacts->statDigest = registry.digest();
+
+    MeasurementResult res = summarize(module, cfg);
     if (tracer) {
         res.stages = tracer->breakdown();
         if (artifacts)
             artifacts->stages = tracer->breakdown();
     }
     return res;
+}
+
+WarmStart
+prepareWarmStart(const ExperimentConfig &cfg)
+{
+    WarmStart warm;
+    warm.config = cfg;
+    warm.module = std::make_unique<Ac510Module>(makeSystemConfig(cfg));
+    warm.module->start();
+    warm.module->runUntil(cfg.warmup);
+    return warm;
+}
+
+MeasurementResult
+runExperimentFrom(const WarmStart &warm, const ExperimentConfig &cfg,
+                  RunArtifacts *artifacts)
+{
+    // The binding precondition is warmupDigest(warm.config) ==
+    // warmupDigest(cfg), enforced by the sweep runner's grouping (the
+    // digest serializer lives in the runner layer above this one).
+    // Guard the obvious misuses here with the cheap field subset.
+    // lint:allow(hot-check)
+    HMCSIM_CHECK(warm.config.seed == cfg.seed &&
+                     warm.config.warmup == cfg.warmup &&
+                     warm.config.mix == cfg.mix &&
+                     warm.config.requestSize == cfg.requestSize &&
+                     warm.config.mode == cfg.mode &&
+                     warm.config.numPorts == cfg.numPorts &&
+                     warm.config.pattern.mask == cfg.pattern.mask &&
+                     warm.config.pattern.antiMask ==
+                         cfg.pattern.antiMask,
+                 "runExperimentFrom: config's warm-up phase differs "
+                 "from the WarmStart's");
+
+    // Identical to the cold path from cfg.warmup on: the fork holds
+    // exactly the state the cold run holds after its own warm-up, the
+    // stat registration calls are the same set, and the measurement
+    // is summarized by the same helper.
+    std::unique_ptr<Ac510Module> module = warm.module->fork();
+    StatRegistry registry;
+    if (artifacts)
+        module->registerStats(registry, StatPath("system"));
+    module->resetPortStats();
+    module->runUntil(cfg.warmup + cfg.measure);
+    if (artifacts)
+        artifacts->statDigest = registry.digest();
+    return summarize(*module, cfg);
 }
 
 MeasurementResult

@@ -129,6 +129,45 @@ MeasurementResult runExperiment(const ExperimentConfig &cfg,
                                 RunArtifacts *artifacts = nullptr);
 
 /**
+ * A simulator warmed to cfg.warmup and parked, ready to be forked.
+ *
+ * prepareWarmStart() pays the warm-up cost once; runExperimentFrom()
+ * then serves any config with the same warmupDigest() by forking the
+ * parked module (Ac510Module::fork) and running only the measurement
+ * window. The module is quiescent between runs and fork() is
+ * read-only, so one WarmStart may serve many threads concurrently
+ * (the sweep runner's warm-start mode does exactly that).
+ */
+struct WarmStart
+{
+    /** The config the module was built and warmed from. */
+    ExperimentConfig config;
+    /** The warmed simulator, advanced to exactly config.warmup. */
+    std::unique_ptr<Ac510Module> module;
+};
+
+/**
+ * Build a simulator from @p cfg and run it to cfg.warmup (tracing
+ * unsupported: fork() rejects it). The returned state is immutable
+ * input for runExperimentFrom().
+ */
+WarmStart prepareWarmStart(const ExperimentConfig &cfg);
+
+/**
+ * Run @p cfg's measurement window on a fork of @p warm instead of
+ * re-simulating the warm-up. Requires warmupDigest(warm.config) ==
+ * warmupDigest(cfg) (checked fatal): under that precondition the fork
+ * is in exactly the state a cold run of @p cfg would be in at
+ * cfg.warmup, so the result and artifacts->statDigest are
+ * bit-identical to runExperiment(cfg) (tests/test_snapshot_fork.cc).
+ * Read-only on @p warm; safe to call concurrently from many threads
+ * against one WarmStart.
+ */
+MeasurementResult runExperimentFrom(const WarmStart &warm,
+                                    const ExperimentConfig &cfg,
+                                    RunArtifacts *artifacts = nullptr);
+
+/**
  * Deprecated compatibility shim (pre-RunOptions API): equivalent to
  * calling the overload above and copying artifacts.statDigest into
  * @p statDigest. Prefer the RunOptions/RunArtifacts overload; this

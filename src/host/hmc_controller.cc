@@ -7,6 +7,7 @@
 
 #include "protocol/fields.hh"
 #include "sim/check.hh"
+#include "sim/snapshot.hh"
 
 namespace hmcsim
 {
@@ -79,48 +80,100 @@ HmcController::startTransmit(Packet *pkt)
     _stats.txWireBytes += txLinks[link]->wireBytes(pkt->reqBytes());
     const Tick arrive = txLinks[link]->transmit(tx_start, pkt->reqBytes());
 
-    queue.schedule(arrive, [this, pkt] {
-        // The cube decodes, routes, and services the request; it tells
-        // us when the response starts back on the RX wire.
-        const Tick resp_ready = device.handleRequest(*pkt, queue.now());
-        const unsigned rx_link =
-            static_cast<unsigned>(pkt->link % rxLinks.size());
+    queue.schedule(arrive, CubeArriveEvent{this, pkt});
+}
 
-        queue.schedule(resp_ready, [this, pkt, rx_link] {
-            _stats.rxWireBytes +=
-                rxLinks[rx_link]->wireBytes(pkt->respBytes());
-            const Tick at_fpga =
-                rxLinks[rx_link]->transmit(queue.now(), pkt->respBytes());
-            const Tick delivered = at_fpga + rxFixedLat +
-                                   rxPerFlitTicks * pkt->respFlits();
-            queue.schedule(delivered, [this, pkt] {
-                pkt->tResponse = queue.now();
-                ++_stats.responsesDelivered;
+void
+HmcController::CubeArriveEvent::operator()()
+{
+    // The cube decodes, routes, and services the request; it tells
+    // us when the response starts back on the RX wire.
+    HmcController &c = *self;
+    const Tick resp_ready = c.device.handleRequest(*pkt, c.queue.now());
+    const unsigned rx_link =
+        static_cast<unsigned>(pkt->link % c.rxLinks.size());
+    c.queue.schedule(resp_ready, ResponseReadyEvent{self, pkt, rx_link});
+}
 
-                // The response's RTC field returns the request's
-                // input-buffer tokens; that may release parked
-                // requests (deassert the stop signal).
-                if (!tokens.empty()) {
-                    const unsigned rx = pkt->link;
-                    HMCSIM_DCHECK(inFlightFlits[rx] >= pkt->reqFlits(),
-                                  "returning more flits than in flight "
-                                  "on link %u", rx);
-                    inFlightFlits[rx] -= pkt->reqFlits();
-                    tokens[rx].returnTokens(pkt->reqFlits());
-                    while (!parked[rx].empty() &&
-                           tokens[rx].consume(
-                               parked[rx].front()->reqFlits())) {
-                        Packet *next = parked[rx].front();
-                        parked[rx].pop_front();
-                        inFlightFlits[rx] += next->reqFlits();
-                        startTransmit(next);
-                    }
-                }
-                deliver(*pkt);
-                pool.release(pkt);
-            });
-        });
-    });
+void
+HmcController::ResponseReadyEvent::operator()()
+{
+    HmcController &c = *self;
+    c._stats.rxWireBytes += c.rxLinks[rxLink]->wireBytes(pkt->respBytes());
+    const Tick at_fpga =
+        c.rxLinks[rxLink]->transmit(c.queue.now(), pkt->respBytes());
+    const Tick delivered = at_fpga + c.rxFixedLat +
+                           c.rxPerFlitTicks * pkt->respFlits();
+    c.queue.schedule(delivered, DeliveredEvent{self, pkt});
+}
+
+void
+HmcController::DeliveredEvent::operator()()
+{
+    HmcController &c = *self;
+    pkt->tResponse = c.queue.now();
+    ++c._stats.responsesDelivered;
+
+    // The response's RTC field returns the request's input-buffer
+    // tokens; that may release parked requests (deassert the stop
+    // signal).
+    if (!c.tokens.empty()) {
+        const unsigned rx = pkt->link;
+        HMCSIM_DCHECK(c.inFlightFlits[rx] >= pkt->reqFlits(),
+                      "returning more flits than in flight "
+                      "on link %u", rx);
+        c.inFlightFlits[rx] -= pkt->reqFlits();
+        c.tokens[rx].returnTokens(pkt->reqFlits());
+        while (!c.parked[rx].empty() &&
+               c.tokens[rx].consume(c.parked[rx].front()->reqFlits())) {
+            Packet *next = c.parked[rx].front();
+            c.parked[rx].pop_front();
+            c.inFlightFlits[rx] += next->reqFlits();
+            c.startTransmit(next);
+        }
+    }
+    c.deliver(*pkt);
+    c.pool.release(pkt);
+}
+
+void
+HmcController::CubeArriveEvent::relocate(const SnapshotFixup &fixup)
+{
+    self = fixup.translate(self);
+    pkt = fixup.translate(pkt);
+}
+
+void
+HmcController::ResponseReadyEvent::relocate(const SnapshotFixup &fixup)
+{
+    self = fixup.translate(self);
+    pkt = fixup.translate(pkt);
+}
+
+void
+HmcController::DeliveredEvent::relocate(const SnapshotFixup &fixup)
+{
+    self = fixup.translate(self);
+    pkt = fixup.translate(pkt);
+}
+
+void
+HmcController::restoreFrom(const HmcController &src, SnapshotFixup &fixup)
+{
+    fixup.mapObject(&src, this);
+    pool.cloneFrom(src.pool, fixup);
+    for (std::size_t i = 0; i < txLinks.size(); ++i) {
+        *txLinks[i] = *src.txLinks[i];
+        *rxLinks[i] = *src.rxLinks[i];
+    }
+    tokens = src.tokens;
+    inFlightFlits = src.inFlightFlits;
+    for (std::size_t link = 0; link < src.parked.size(); ++link) {
+        parked[link].clear();
+        for (Packet *p : src.parked[link])
+            parked[link].push_back(fixup.translate(p));
+    }
+    _stats = src._stats;
 }
 
 std::uint64_t

@@ -32,6 +32,8 @@
 namespace hmcsim
 {
 
+class SnapshotFixup;
+
 /** One named stage of the TX/RX latency deconstruction (Fig. 14). */
 struct StageLatency
 {
@@ -101,6 +103,50 @@ class HmcController
     /** The controller's in-flight packet pool (one per simulator;
      *  exposed for the perf harness's allocation accounting). */
     const PacketPool &packetPool() const { return pool; }
+
+    // Main-path event captures, named (instead of inline lambdas) so
+    // simulator fork can recognize pending events by invoke thunk and
+    // relocate their pointers into the forked world (sim/snapshot.hh).
+    // All trivially copyable; each pointer is rewritten by relocate().
+
+    /** TX wire arrival: the cube decodes and services the request. */
+    struct CubeArriveEvent // lint:snapshot-state
+    {
+        HmcController *self; // lint:allow(snapshot-safe, relocated through the fork fixup map)
+        Packet *pkt;         // lint:allow(snapshot-safe, pooled slot translated block-relative)
+        void operator()();
+        void relocate(const SnapshotFixup &fixup);
+    };
+
+    /** Response leaves the cube onto the RX wire. */
+    struct ResponseReadyEvent // lint:snapshot-state
+    {
+        HmcController *self; // lint:allow(snapshot-safe, relocated through the fork fixup map)
+        Packet *pkt;         // lint:allow(snapshot-safe, pooled slot translated block-relative)
+        unsigned rxLink;
+        void operator()();
+        void relocate(const SnapshotFixup &fixup);
+    };
+
+    /** Response fully reassembled at the FPGA: tokens return, parked
+     *  requests release, the port gets its completion. */
+    struct DeliveredEvent // lint:snapshot-state
+    {
+        HmcController *self; // lint:allow(snapshot-safe, relocated through the fork fixup map)
+        Packet *pkt;         // lint:allow(snapshot-safe, pooled slot translated block-relative)
+        void operator()();
+        void relocate(const SnapshotFixup &fixup);
+    };
+
+    /**
+     * Become a state copy of @p src for simulator fork: clone the
+     * packet pool (registering its block extents in @p fixup so event
+     * captures can be translated), then copy link serializers, RNG
+     * streams, token counts, parked queues, and counters. Must run on
+     * a freshly built controller with identical calibration; read-only
+     * on @p src (concurrent forks of one warm source are safe).
+     */
+    void restoreFrom(const HmcController &src, SnapshotFixup &fixup);
 
   private:
     /**

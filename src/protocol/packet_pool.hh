@@ -24,12 +24,14 @@
 #ifndef HMCSIM_PROTOCOL_PACKET_POOL_HH
 #define HMCSIM_PROTOCOL_PACKET_POOL_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <type_traits>
 #include <vector>
 
 #include "protocol/packet.hh"
+#include "sim/check.hh"
 
 namespace hmcsim
 {
@@ -92,6 +94,37 @@ class PacketPool
     /** Growth steps taken (1 after the first acquire; stable once
      *  warm -- the perf harness watches this). */
     std::size_t blocksAllocated() const { return blocks.size(); }
+
+    /**
+     * Become a deep copy of @p src for simulator fork (sim/snapshot.hh):
+     * replicate every block byte-for-byte, register each source block's
+     * extent in @p fixup so captured Packet pointers can be translated,
+     * and rebuild the free list through that translation. Must be
+     * called on a fresh pool; read-only on @p src.
+     */
+    template <typename Fixup>
+    void
+    cloneFrom(const PacketPool &src, Fixup &fixup)
+    {
+        HMCSIM_DCHECK(blocks.empty() && numAcquired == 0,
+                      "pool clone target must be fresh");
+        blockPackets = src.blockPackets;
+        blocks.reserve(src.blocks.size());
+        for (const auto &src_block : src.blocks) {
+            blocks.push_back(std::make_unique<Packet[]>(blockPackets));
+            Packet *base = blocks.back().get();
+            std::copy(src_block.get(), src_block.get() + blockPackets,
+                      base);
+            fixup.mapRange(src_block.get(),
+                           src_block.get() + blockPackets, base);
+        }
+        freeList.reserve(src.freeList.size());
+        for (Packet *slot : src.freeList)
+            freeList.push_back(fixup.translate(slot));
+        numAcquired = src.numAcquired;
+        numReleased = src.numReleased;
+        _highWater = src._highWater;
+    }
 
   private:
     void

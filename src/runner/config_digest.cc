@@ -174,6 +174,30 @@ configDigest(const ExperimentConfig &cfg, bool include_seed)
 }
 
 std::uint64_t
+warmupDigest(const ExperimentConfig &cfg)
+{
+    Fnv1a h;
+    // Distinct tag: warm-up identities live in their own namespace.
+    // v1: configDigest v2 minus the measure window, seed included.
+    h.str("hmcsim.warmup.v1");
+
+    mixPattern(h, cfg.pattern);
+
+    h.u64(static_cast<std::uint64_t>(cfg.mix));
+    h.u64(cfg.requestSize);
+    h.u64(static_cast<std::uint64_t>(cfg.mode));
+    h.u64(cfg.numPorts);
+    h.u64(cfg.warmup);
+    // cfg.measure deliberately omitted: the measurement window starts
+    // after the fork point, so it cannot influence the warm state.
+    h.u64(cfg.seed);
+
+    mixDevice(h, cfg.device);
+    mixController(h, cfg.controller);
+    return h.value();
+}
+
+std::uint64_t
 configDigest(const StreamExperimentConfig &cfg, bool include_seed)
 {
     Fnv1a h;

@@ -46,6 +46,18 @@ std::uint64_t configDigest(const ExperimentConfig &cfg,
 std::uint64_t configDigest(const StreamExperimentConfig &cfg,
                            bool include_seed = true);
 
+/**
+ * Canonical FNV-1a digest of everything that determines a config's
+ * *warm-up phase*: every configDigest() field except the measurement
+ * window, with the seed always included. Two configs with equal
+ * warmupDigest() build bit-identical simulators and execute the same
+ * event sequence through cfg.warmup, so one warmed simulator can be
+ * forked to serve all of them (host/experiment.hh's runExperimentFrom
+ * and the sweep runner's warm-start grouping). Distinct version tag;
+ * never comparable with configDigest() values.
+ */
+std::uint64_t warmupDigest(const ExperimentConfig &cfg);
+
 } // namespace hmcsim
 
 #endif // HMCSIM_RUNNER_CONFIG_DIGEST_HH

@@ -1,5 +1,8 @@
 #include "runner/sweep.hh"
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "runner/config_digest.hh"
@@ -47,25 +50,31 @@ SweepAxes::expand() const
         backends.empty()
             ? std::vector<BackendKind>{base.device.vault.backend.kind}
             : backends;
+    const auto measureAxis =
+        measures.empty() ? std::vector<Tick>{base.measure} : measures;
 
     std::vector<ExperimentConfig> out;
     out.reserve(patternAxis.size() * mixAxis.size() * sizeAxis.size() *
                 modeAxis.size() * portAxis.size() *
-                backendAxis.size());
+                backendAxis.size() * measureAxis.size());
     for (const AccessPattern &pattern : patternAxis) {
         for (const RequestMix mix : mixAxis) {
             for (const Bytes size : sizeAxis) {
                 for (const AddressingMode mode : modeAxis) {
                     for (const unsigned numPorts : portAxis) {
                         for (const BackendKind backend : backendAxis) {
-                            ExperimentConfig cfg = base;
-                            cfg.pattern = pattern;
-                            cfg.mix = mix;
-                            cfg.requestSize = size;
-                            cfg.mode = mode;
-                            cfg.numPorts = numPorts;
-                            cfg.device.vault.backend.kind = backend;
-                            out.push_back(std::move(cfg));
+                            for (const Tick measure : measureAxis) {
+                                ExperimentConfig cfg = base;
+                                cfg.pattern = pattern;
+                                cfg.mix = mix;
+                                cfg.requestSize = size;
+                                cfg.mode = mode;
+                                cfg.numPorts = numPorts;
+                                cfg.device.vault.backend.kind =
+                                    backend;
+                                cfg.measure = measure;
+                                out.push_back(std::move(cfg));
+                            }
                         }
                     }
                 }
@@ -77,8 +86,22 @@ SweepAxes::expand() const
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts(std::move(opts)) {}
 
+/**
+ * One warm-start group's shared state. The warm-up is simulated
+ * lazily (first cache-missing member pays for it, under call_once so
+ * concurrent members block instead of racing); afterwards the warm
+ * module is only ever fork()ed, which is read-only, so any number of
+ * workers may serve members concurrently.
+ */
+struct SweepRunner::WarmGroup
+{
+    std::once_flag once;
+    WarmStart warm;
+};
+
 SweepPointResult
-SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg) const
+SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg,
+                      WarmGroup *group) const
 {
     SweepPointResult point;
     point.index = index;
@@ -110,7 +133,15 @@ SweepRunner::runPoint(std::size_t index, const ExperimentConfig &cfg) const
     // allowlist to one file.
     const WallClockSample start = wallClockNow();
     RunArtifacts artifacts;
-    point.result = runExperiment(cfg, run_opts, &artifacts);
+    if (group) {
+        // Grouping already excludes tracing (run() never assigns a
+        // group while opts.trace.enabled).
+        std::call_once(group->once,
+                       [&] { group->warm = prepareWarmStart(cfg); });
+        point.result = runExperimentFrom(group->warm, cfg, &artifacts);
+    } else {
+        point.result = runExperiment(cfg, run_opts, &artifacts);
+    }
     point.statDigest = artifacts.statDigest;
     point.wallMs = wallMsBetween(start, wallClockNow());
     if (tracing)
@@ -141,17 +172,40 @@ SweepRunner::run(std::vector<ExperimentConfig> configs)
             cfg.seed = deriveSeed(opts.sweepSeed, cfg);
     }
 
+    // Warm-start grouping, keyed by warmupDigest *after* seed
+    // derivation (the seed is part of the warm-up identity). The
+    // grouping is a pure function of the configs, so it cannot
+    // perturb jobs-invariance; the group members themselves produce
+    // bit-identical results either way (runExperimentFrom's
+    // contract).
+    std::map<std::uint64_t, std::unique_ptr<WarmGroup>> groups;
+    std::vector<WarmGroup *> group_of(configs.size(), nullptr);
+    if (opts.warmStart && !opts.trace.enabled) {
+        std::map<std::uint64_t, std::vector<std::size_t>> members;
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            members[warmupDigest(configs[i])].push_back(i);
+        for (auto &entry : members) {
+            // A lone point gains nothing from warm+fork; run it cold.
+            if (entry.second.size() < 2)
+                continue;
+            auto group = std::make_unique<WarmGroup>();
+            for (const std::size_t i : entry.second)
+                group_of[i] = group.get();
+            groups.emplace(entry.first, std::move(group));
+        }
+    }
+
     std::vector<SweepPointResult> results(configs.size());
     const unsigned jobs =
         opts.jobs ? opts.jobs : ThreadPool::hardwareConcurrency();
     if (jobs <= 1 || configs.size() <= 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = runPoint(i, configs[i]);
+            results[i] = runPoint(i, configs[i], group_of[i]);
     } else {
         const auto cap = static_cast<unsigned>(configs.size());
         ThreadPool pool(jobs < cap ? jobs : cap);
         pool.parallelFor(configs.size(), [&](std::size_t i) {
-            results[i] = runPoint(i, configs[i]);
+            results[i] = runPoint(i, configs[i], group_of[i]);
         });
     }
 

@@ -64,10 +64,14 @@ struct SweepAxes
     std::vector<Bytes> sizes;
     std::vector<AddressingMode> modes;
     std::vector<unsigned> ports;
-    /** Vault storage engines (mem/backend.hh); innermost axis. Each
-     *  point keeps the base config's backend parameters and swaps
-     *  only the kind. */
+    /** Vault storage engines (mem/backend.hh). Each point keeps the
+     *  base config's backend parameters and swaps only the kind. */
     std::vector<BackendKind> backends;
+    /** Measurement windows; the innermost axis. Points differing only
+     *  here share their whole warm-up phase, so a measure-axis sweep
+     *  is the canonical warm-start campaign (SweepOptions::warmStart):
+     *  one warm-up serves every window length. */
+    std::vector<Tick> measures;
     /** Windows, device overrides, and calibration for every point. */
     ExperimentConfig base;
 
@@ -103,6 +107,22 @@ struct SweepOptions
      * simulated and never stored.
      */
     TraceConfig trace;
+    /**
+     * Warm-start mode: group points whose warm-up phases are
+     * bit-identical (equal warmupDigest -- everything but the
+     * measurement window, seed included), simulate each group's
+     * warm-up once on whichever worker needs it first, and serve the
+     * members by forking the warmed simulator (Ac510Module::fork via
+     * runExperimentFrom). Results and stat digests stay bit-identical
+     * to cold runs and jobs-invariant; the cache composes unchanged
+     * (hits skip the fork, misses feed it). Groups of one run cold --
+     * a lone point gains nothing from forking. Ignored while tracing
+     * (fork rejects tracers). Caveat: with deriveSeeds on, per-point
+     * seeds hash the full config *including* measure, so a
+     * measure-axis sweep degenerates to singleton groups; pair
+     * warm-start with deriveSeeds=false (CLI --same-seeds).
+     */
+    bool warmStart = false;
 };
 
 /**
@@ -126,8 +146,15 @@ class SweepRunner
     std::vector<SweepPointResult> run(const SweepAxes &axes);
 
   private:
+    /** Lazily-warmed shared state of one warm-start group. */
+    struct WarmGroup;
+
+    /** @param group Non-null when the point belongs to a warm-start
+     *  group; a cache miss then forks the group's warm simulator
+     *  (building it under call_once on first need). */
     SweepPointResult runPoint(std::size_t index,
-                              const ExperimentConfig &cfg) const;
+                              const ExperimentConfig &cfg,
+                              WarmGroup *group) const;
 
     SweepOptions opts;
 };

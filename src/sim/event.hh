@@ -53,6 +53,22 @@ constexpr std::size_t eventInlineAlign = 16;
 class Event
 {
   public:
+    /** Signature of the type-erased invoke thunk. */
+    using InvokeFn = void (*)(void *);
+
+    /**
+     * The invoke thunk instantiated for callable type @p D. Exposed so
+     * snapshot code (sim/snapshot.hh) can identify a stored callable
+     * by comparing invokeTarget() against &invokeAs<KnownType> --
+     * the per-type thunk address is the callable's runtime identity.
+     */
+    template <typename D>
+    static void
+    invokeAs(void *self)
+    {
+        (*static_cast<D *>(self))();
+    }
+
     Event() = default;
 
     /** Wrap any callable whose captures fit the inline budget. */
@@ -77,7 +93,7 @@ class Event
                       "move-constructible (the queue relocates "
                       "entries)");
         ::new (static_cast<void *>(storage)) D(std::forward<F>(fn));
-        invoke_ = [](void *self) { (*static_cast<D *>(self))(); };
+        invoke_ = &invokeAs<D>;
         if constexpr (!(std::is_trivially_copyable_v<D> &&
                         std::is_trivially_destructible_v<D>)) {
             manager_ = [](Op op, void *dst, void *src) {
@@ -116,6 +132,37 @@ class Event
 
     /** Execute the callable (must be engaged). */
     void operator()() { invoke_(storage); }
+
+    /**
+     * The stored callable's invoke thunk, its runtime type identity.
+     * Compare against &invokeAs<T> to recognize a known capture type.
+     */
+    InvokeFn invokeTarget() const { return invoke_; }
+
+    /**
+     * True when the stored callable is trivially copyable (and thus
+     * trivially destructible): its bytes can be memcpy'd into another
+     * Event. Non-trivial callables carry a manager and cannot be
+     * cloned byte-wise.
+     */
+    bool trivialCapture() const { return manager_ == nullptr; }
+
+    /** Raw capture bytes (for snapshot cloning of trivial captures). */
+    const void *captureBytes() const { return storage; }
+
+    /**
+     * Rebuild an Event from a known invoke thunk and a capture image.
+     * Only valid for trivially-copyable captures -- the snapshot layer
+     * verifies trivialCapture() on the source before calling this.
+     */
+    static Event
+    fromCaptureImage(InvokeFn invoke, const void *bytes)
+    {
+        Event ev;
+        ev.invoke_ = invoke;
+        std::memcpy(ev.storage, bytes, eventInlineBytes);
+        return ev;
+    }
 
   private:
     enum class Op

@@ -314,6 +314,66 @@ EventQueue::runCheckers()
     }
 }
 
+std::vector<EventQueue::PendingView>
+EventQueue::pendingSnapshot() const
+{
+    std::vector<PendingView> views;
+    views.reserve(numPending);
+    for (std::size_t i = drainIdx; i < current.size(); ++i)
+        views.push_back({current[i].when, current[i].seq, &current[i].ev});
+    for (const auto &slot : buckets)
+        for (const auto &entry : slot)
+            views.push_back({entry.when, entry.seq, &entry.ev});
+    for (const auto &entry : staging)
+        views.push_back({entry.when, entry.seq, &entry.ev});
+    for (const auto &run : runs)
+        for (const auto &entry : run)
+            views.push_back({entry.when, entry.seq, &entry.ev});
+    HMCSIM_DCHECK(views.size() == numPending,
+                  "pending snapshot found %llu entries, counter says %llu",
+                  static_cast<unsigned long long>(views.size()),
+                  static_cast<unsigned long long>(numPending));
+    std::sort(views.begin(), views.end(),
+              [](const PendingView &a, const PendingView &b) {
+                  return a.seq < b.seq;
+              });
+    return views;
+}
+
+void
+EventQueue::restoreBegin(Tick now)
+{
+    // Restore-time API validation, not per-event work.
+    // lint:allow(hot-check)
+    HMCSIM_CHECK(numPending == 0 && numExecuted == 0,
+                 "snapshot restore requires a fresh queue "
+                 "(pending=%llu executed=%llu)",
+                 static_cast<unsigned long long>(numPending),
+                 static_cast<unsigned long long>(numExecuted));
+    _now = now;
+    // Without this the cursor would lap-walk from bucket zero and
+    // every near-future entry would detour through the overflow
+    // ladder; placing it on now()'s bucket reproduces the source
+    // calendar's steady state.
+    cursorBucket = bucketOf(now);
+}
+
+void
+EventQueue::restoreFinish(std::uint64_t next_seq,
+                          std::uint64_t num_executed,
+                          std::uint64_t events_since_check)
+{
+    // lint:allow(hot-check)
+    HMCSIM_CHECK(next_seq >= nextSeq,
+                 "restored seq counter would reissue seqs "
+                 "(restore=%llu local=%llu)",
+                 static_cast<unsigned long long>(next_seq),
+                 static_cast<unsigned long long>(nextSeq));
+    nextSeq = next_seq;
+    numExecuted = num_executed;
+    eventsSinceCheck = events_since_check;
+}
+
 void
 EventQueue::reset()
 {

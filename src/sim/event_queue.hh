@@ -127,6 +127,46 @@ class EventQueue
     /** The attached checker registry, or nullptr. */
     CheckerRegistry *checkers() const { return checkerRegistry; }
 
+    // --- Snapshot/fork support (sim/snapshot.hh) -------------------
+    //
+    // A forked simulator rebuilds its queue by re-scheduling clones of
+    // the source's pending events in ascending original-seq order:
+    // relative (when, seq) order among the clones then matches the
+    // source exactly, and restoreFinish() bumps the seq counter past
+    // the source's so later schedules sort after every restored entry,
+    // exactly as they would have in the source.
+
+    /** Read-only view of one pending entry. */
+    struct PendingView
+    {
+        Tick when;
+        std::uint64_t seq;
+        const Event *ev;
+    };
+
+    /** All pending entries, sorted ascending by seq. Views are valid
+     *  until the next mutating call. */
+    std::vector<PendingView> pendingSnapshot() const;
+
+    /** The seq the next scheduled event will receive. */
+    std::uint64_t seqCounter() const { return nextSeq; }
+
+    /** Events executed since the checkers last ran. */
+    std::uint64_t eventsSinceCheckCount() const { return eventsSinceCheck; }
+
+    /**
+     * Prepare an empty queue for restoring a snapshot taken at
+     * @p now: sets the clock and places the calendar cursor on the
+     * matching bucket so re-scheduled entries land exactly where the
+     * source's calendar held them. Fatal if the queue is not empty.
+     */
+    void restoreBegin(Tick now);
+
+    /** Adopt the source queue's counters after re-scheduling its
+     *  pending entries (see restoreBegin). */
+    void restoreFinish(std::uint64_t next_seq, std::uint64_t num_executed,
+                       std::uint64_t events_since_check);
+
   private:
     struct Entry
     {

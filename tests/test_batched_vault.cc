@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Differential tests for batched vault stepping: the batched
+ * QueuedVaultController (eager timeline booking + single armed timer
+ * + MemoryBackend::stepBatch) must reproduce the event-driven micro
+ * model's completion stream exactly for per-bank-state backends, and
+ * the backends' acceptBatch() must match a loop of virtual accept()
+ * calls bit for bit (the differential reference the interface doc
+ * promises).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "hmc/queued_vault.hh"
+#include "mem/nvm_backend.hh"
+#include "sim/random.hh"
+
+namespace hmcsim
+{
+namespace
+{
+
+Packet
+request(Command cmd, unsigned bank, std::uint32_t row, Addr addr = 0,
+        Bytes payload = 128)
+{
+    Packet pkt;
+    pkt.cmd = cmd;
+    pkt.payload = payload;
+    pkt.bank = static_cast<std::uint8_t>(bank);
+    pkt.row = row;
+    pkt.addr = addr;
+    return pkt;
+}
+
+/** Completion stream of one vault mode: (packet id -> done tick). */
+std::vector<Tick>
+runVault(const QueuedVaultConfig &cfg,
+         const std::vector<std::pair<Tick, Packet>> &arrivals,
+         QueuedVaultStats *stats_out = nullptr)
+{
+    EventQueue queue;
+    std::vector<std::pair<std::uint64_t, Tick>> done;
+    QueuedVaultController vault(
+        cfg, queue, [&done](const Packet &pkt, Tick at) {
+            done.emplace_back(pkt.id, at);
+        });
+
+    std::vector<Packet> stamped;
+    stamped.reserve(arrivals.size());
+    std::uint64_t id = 0;
+    for (const auto &[when, pkt] : arrivals) {
+        (void)when;
+        stamped.push_back(pkt);
+        stamped.back().id = id++;
+    }
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const Packet *pkt = &stamped[i];
+        QueuedVaultController *vault_ptr = &vault;
+        queue.schedule(arrivals[i].first, [vault_ptr, pkt] {
+            ASSERT_TRUE(vault_ptr->offer(*pkt));
+        });
+    }
+    queue.runToCompletion();
+
+    if (stats_out)
+        *stats_out = vault.stats();
+    std::vector<Tick> by_id(done.size(), 0);
+    for (const auto &[pkt_id, at] : done)
+        by_id.at(pkt_id) = at;
+    return by_id;
+}
+
+/** Micro vs batched on one schedule: completions must match exactly. */
+void
+expectModesIdentical(VaultConfig base,
+                     const std::vector<std::pair<Tick, Packet>> &arrivals)
+{
+    QueuedVaultConfig micro;
+    micro.base = base;
+    QueuedVaultConfig batched = micro;
+    batched.batched = true;
+
+    QueuedVaultStats micro_stats, batched_stats;
+    const std::vector<Tick> micro_done =
+        runVault(micro, arrivals, &micro_stats);
+    const std::vector<Tick> batched_done =
+        runVault(batched, arrivals, &batched_stats);
+
+    ASSERT_EQ(micro_done.size(), batched_done.size());
+    for (std::size_t i = 0; i < micro_done.size(); ++i)
+        ASSERT_EQ(micro_done[i], batched_done[i]) << "request " << i;
+    EXPECT_EQ(micro_stats.accepted, batched_stats.accepted);
+    EXPECT_EQ(micro_stats.completed, batched_stats.completed);
+    EXPECT_EQ(micro_stats.busBusy, batched_stats.busBusy);
+}
+
+/** Heavy mixed random schedule over @p banks banks. */
+std::vector<std::pair<Tick, Packet>>
+randomSchedule(unsigned banks, int n, std::uint64_t seed,
+               bool with_writes, Tick spacing = 2000)
+{
+    Xoshiro256StarStar rng(seed);
+    std::vector<std::pair<Tick, Packet>> arrivals;
+    for (int i = 0; i < n; ++i) {
+        const Command cmd =
+            with_writes && rng.nextBounded(3) == 0 ? Command::Write
+                                                   : Command::Read;
+        arrivals.emplace_back(
+            static_cast<Tick>(i) * spacing,
+            request(cmd, static_cast<unsigned>(rng.nextBounded(banks)),
+                    static_cast<std::uint32_t>(rng.nextBounded(4096)),
+                    rng.nextBounded(1u << 20) * 32));
+    }
+    return arrivals;
+}
+
+TEST(BatchedVault, SingleBankHmcMatchesMicroExactly)
+{
+    VaultConfig base;
+    expectModesIdentical(base, randomSchedule(1, 2000, 11, true));
+}
+
+TEST(BatchedVault, SingleBankDdr4MatchesMicroExactly)
+{
+    // DDR4's shared tFAW regulator sees accepts in call order, so
+    // only single-bank schedules are order-invariant between modes.
+    VaultConfig base;
+    base.backend.kind = BackendKind::Ddr4;
+    expectModesIdentical(base, randomSchedule(1, 1500, 13, true));
+}
+
+TEST(BatchedVault, SingleBankNvmMatchesMicroExactly)
+{
+    VaultConfig base;
+    base.backend.kind = BackendKind::Nvm;
+    expectModesIdentical(base, randomSchedule(1, 1500, 17, true));
+}
+
+TEST(BatchedVault, MultiBankHmcSaturatedMatchesMicroExactly)
+{
+    VaultConfig base;
+    expectModesIdentical(base, randomSchedule(16, 4000, 5, false));
+}
+
+TEST(BatchedVault, MultiBankHmcMixedWritesMatchMicroExactly)
+{
+    VaultConfig base;
+    expectModesIdentical(base, randomSchedule(16, 4000, 7, true));
+}
+
+TEST(BatchedVault, MultiBankNvmDrainMatchesMicroExactly)
+{
+    // Finite NVM write ring: admission stalls on the oldest drain,
+    // and the batched mode retires entries through stepBatch() while
+    // the micro mode relies on the inline slot-reuse fallback -- the
+    // timing must not care which path did the bookkeeping.
+    VaultConfig base;
+    base.backend.kind = BackendKind::Nvm;
+    expectModesIdentical(base, randomSchedule(8, 3000, 23, true, 800));
+}
+
+TEST(BatchedVault, AtomicLatencyAppliesIdentically)
+{
+    VaultConfig base;
+    std::vector<std::pair<Tick, Packet>> arrivals;
+    for (int i = 0; i < 400; ++i) {
+        arrivals.emplace_back(
+            i * 1500,
+            request(i % 3 == 0 ? Command::Atomic : Command::Read,
+                    static_cast<unsigned>(i % 16),
+                    static_cast<std::uint32_t>(i), 0, 16));
+    }
+    expectModesIdentical(base, arrivals);
+}
+
+TEST(BatchedVault, RefreshHorizonMatchesMicroExactly)
+{
+    // Long quiet gaps force refresh catch-up through stepBatch() in
+    // batched mode vs lazily inside accept() in micro mode; the
+    // catch-up contract says results are identical either way.
+    VaultConfig base;
+    std::vector<std::pair<Tick, Packet>> arrivals;
+    Xoshiro256StarStar rng(29);
+    Tick when = 0;
+    for (int i = 0; i < 600; ++i) {
+        when += (i % 50 == 0) ? 5 * tickUs : 3000;
+        arrivals.emplace_back(
+            when,
+            request(Command::Read,
+                    static_cast<unsigned>(rng.nextBounded(16)),
+                    static_cast<std::uint32_t>(rng.nextBounded(4096))));
+    }
+    expectModesIdentical(base, arrivals);
+}
+
+TEST(BatchedVault, CheckersHoldUnderInvariantSweep)
+{
+    QueuedVaultConfig cfg;
+    cfg.batched = true;
+    EventQueue queue;
+    std::uint64_t completed = 0;
+    QueuedVaultController vault(
+        cfg, queue, [&completed](const Packet &, Tick) { ++completed; });
+    CheckerRegistry checkers;
+    vault.registerCheckers(checkers, "vault");
+    queue.setCheckers(&checkers, 1);
+
+    const auto arrivals = randomSchedule(16, 1000, 31, true);
+    std::vector<Packet> stamped;
+    for (const auto &[when, pkt] : arrivals) {
+        (void)when;
+        stamped.push_back(pkt);
+    }
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const Packet *pkt = &stamped[i];
+        QueuedVaultController *vault_ptr = &vault;
+        queue.schedule(arrivals[i].first,
+                       [vault_ptr, pkt] { vault_ptr->offer(*pkt); });
+    }
+    queue.runToCompletion();
+    EXPECT_EQ(completed, arrivals.size());
+}
+
+TEST(BatchedVault, NvmStepBatchRetiresDrainRing)
+{
+    // Satellite check: the batched drain path actually runs. A write
+    // burst deep enough to wrap the ring forces retirements; in
+    // batched mode most of them happen inside stepBatch() (the timer
+    // body), and the conservation invariant drained + queued == writes
+    // must hold on the live counters at every event.
+    QueuedVaultConfig cfg;
+    cfg.base.backend.kind = BackendKind::Nvm;
+    cfg.batched = true;
+    EventQueue queue;
+    std::uint64_t completed = 0;
+    QueuedVaultController vault(
+        cfg, queue, [&completed](const Packet &, Tick) { ++completed; });
+    CheckerRegistry checkers;
+    vault.registerCheckers(checkers, "vault");
+    queue.setCheckers(&checkers, 1);
+    const int n = 200;
+    std::vector<Packet> stamped;
+    stamped.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        stamped.push_back(
+            request(Command::Write, 0, static_cast<std::uint32_t>(i)));
+    for (int i = 0; i < n; ++i) {
+        const Packet *pkt = &stamped[static_cast<std::size_t>(i)];
+        QueuedVaultController *vault_ptr = &vault;
+        queue.schedule(static_cast<Tick>(i) * 500,
+                       [vault_ptr, pkt] { vault_ptr->offer(*pkt); });
+    }
+    queue.runToCompletion();
+    EXPECT_EQ(completed, static_cast<std::uint64_t>(n));
+
+    const auto &nvm = static_cast<const NvmBackend &>(vault.backend());
+    EXPECT_GT(nvm.drainedWrites(), 0u);
+    EXPECT_EQ(nvm.drainedWrites() + nvm.queuedWrites(),
+              static_cast<std::uint64_t>(n));
+}
+
+/** acceptBatch (devirtualized loop) vs virtual accept(), bit for bit. */
+void
+expectAcceptBatchMatches(BackendKind kind)
+{
+    VaultConfig base;
+    base.backend.kind = kind;
+    const BackendEnvironment env{base.numBanks, base.timings,
+                                 base.policy, base.refreshEnabled,
+                                 base.refreshMultiplier};
+    auto reference = makeMemoryBackend(env, base.backend);
+    auto batched = makeMemoryBackend(env, base.backend);
+
+    Xoshiro256StarStar rng(41);
+    std::vector<Packet> pkts;
+    std::vector<Tick> readys;
+    Tick ready = 1000;
+    for (int i = 0; i < 500; ++i) {
+        pkts.push_back(request(
+            rng.nextBounded(4) == 0 ? Command::Write : Command::Read,
+            static_cast<unsigned>(rng.nextBounded(base.numBanks)),
+            static_cast<std::uint32_t>(rng.nextBounded(4096)),
+            rng.nextBounded(1u << 16) * 32));
+        ready += rng.nextBounded(4000);
+        readys.push_back(ready);
+    }
+
+    std::vector<BatchAccess> batch(pkts.size());
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+        batch[i].pkt = &pkts[i];
+        batch[i].ready = readys[i];
+    }
+    batched->acceptBatch(batch.data(), batch.size());
+
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+        const BankAccessResult ref =
+            reference->accept(pkts[i], readys[i]);
+        EXPECT_EQ(ref.start, batch[i].res.start) << i;
+        EXPECT_EQ(ref.dataReady, batch[i].res.dataReady) << i;
+        EXPECT_EQ(ref.bankFree, batch[i].res.bankFree) << i;
+        EXPECT_EQ(ref.rowHit, batch[i].res.rowHit) << i;
+    }
+}
+
+TEST(AcceptBatch, HmcDramMatchesVirtualLoop)
+{
+    expectAcceptBatchMatches(BackendKind::HmcDram);
+}
+
+TEST(AcceptBatch, Ddr4MatchesVirtualLoop)
+{
+    expectAcceptBatchMatches(BackendKind::Ddr4);
+}
+
+TEST(AcceptBatch, NvmMatchesVirtualLoop)
+{
+    expectAcceptBatchMatches(BackendKind::Nvm);
+}
+
+} // namespace
+} // namespace hmcsim

@@ -115,6 +115,18 @@ TEST(LintRules, DeprecatedDdrEntryFiresOnBothEntryPoints)
                          "deprecated-ddr-entry"));
 }
 
+TEST(LintRules, SnapshotSafeFiresInsideTaggedStructOnly)
+{
+    // Lines 9-11 are unannotated pointer/iterator members of the
+    // tagged struct; the value member (8), the member function (12),
+    // the annotated pointer (13), and the untagged struct (18) all
+    // stay silent.
+    EXPECT_EQ(machineOutput("snapshot_unsafe.cc"),
+              expect("snapshot_unsafe.cc", 9, "snapshot-safe") +
+                  expect("snapshot_unsafe.cc", 10, "snapshot-safe") +
+                  expect("snapshot_unsafe.cc", 11, "snapshot-safe"));
+}
+
 TEST(LintRules, BackendHotPathFiresOnUntaggedBackendFile)
 {
     EXPECT_EQ(machineOutput("plain_backend.cc"),
@@ -185,7 +197,7 @@ TEST(LintEngine, EveryRuleHasAFiringFixture)
         "pointer_keyed_order.cc", "hot_std_function.cc",
         "hot_check.cc",          "hexfloat.cc",
         "mutex_unguarded.cc",    "deprecated_ddr_entry.cc",
-        "plain_backend.cc"};
+        "plain_backend.cc",      "snapshot_unsafe.cc"};
     std::set<std::string> fired;
     for (const std::string &name : fixtures)
         for (const Finding &f : lintPath(fixture(name)))

@@ -104,6 +104,18 @@ ruleTable()
          "'// lint:file(hot-path) -- <why>' comment and keep its "
          "accept() path free of std::function and release-mode "
          "checks"},
+        {"snapshot-safe", "",
+         "a raw-pointer or iterator member in a struct tagged "
+         "lint:snapshot-state without lint:allow(snapshot-safe)",
+         "snapshot-participating state is byte-copied into the forked "
+         "simulator; an address or iterator into the source survives "
+         "the copy and silently reads the *source* simulator unless "
+         "the fork path relocates it (docs/performance.md)",
+         "translate the member through the fork's SnapshotFixup map "
+         "in the struct's relocate() hook and record how with "
+         "lint:allow(snapshot-safe, <how it is restored>); where "
+         "possible store an index or pool-relative offset instead of "
+         "an address"},
         {"mutex-unguarded", "",
          "a mutex member with no GUARDED_BY(name) anywhere in the "
          "file",
@@ -554,6 +566,57 @@ checkDeprecatedDdrEntry(const FileContext &ctx,
 }
 
 void
+checkSnapshotSafe(const FileContext &ctx, std::vector<Finding> &out)
+{
+    // Structs tagged `// lint:snapshot-state` participate in the
+    // copy-on-write snapshot/fork. Scan each tagged struct's body
+    // (depth-1 lines only, so statements inside member functions are
+    // exempt) for raw-pointer and iterator members. The marker lives
+    // in a comment, so match against the raw lines; the body walk
+    // uses the scrubbed code.
+    static const std::regex marker(R"(lint:snapshot-state\b)");
+    static const std::regex pointerMember(
+        R"(\*\s*[A-Za-z_]\w*\s*(=[^;]*)?;)");
+    static const std::regex iteratorMember(
+        R"(\biterator\s+[A-Za-z_]\w*\s*(=[^;]*)?;)");
+    for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+        if (!std::regex_search(ctx.raw[i], marker))
+            continue;
+        int depth = 0;
+        bool opened = false;
+        for (std::size_t j = i; j < ctx.code.size(); ++j) {
+            const int start_depth = depth;
+            for (const char c : ctx.code[j]) {
+                if (c == '{') {
+                    ++depth;
+                    opened = true;
+                } else if (c == '}') {
+                    --depth;
+                }
+            }
+            if (opened && start_depth == 1) {
+                const std::string &line = ctx.code[j];
+                // Lines with parens are member-function machinery
+                // (declarations, defaulted ctors), not data members.
+                const bool function_line =
+                    line.find('(') != std::string::npos;
+                if (!function_line &&
+                    (std::regex_search(line, pointerMember) ||
+                     std::regex_search(line, iteratorMember))) {
+                    addFinding(ctx, out, static_cast<int>(j) + 1,
+                               "snapshot-safe",
+                               "raw-pointer/iterator member of a "
+                               "snapshot-participating struct without "
+                               "a relocation note");
+                }
+            }
+            if (opened && depth == 0)
+                break;
+        }
+    }
+}
+
+void
 checkBackendHotPath(const FileContext &ctx, std::vector<Finding> &out)
 {
     // Path-gated rather than tag-gated: the point is to catch the
@@ -583,6 +646,7 @@ checkTable()
         {"hot-check", &checkHotCheck},
         {"hexfloat-persistence", &checkHexfloatPersistence},
         {"deprecated-ddr-entry", &checkDeprecatedDdrEntry},
+        {"snapshot-safe", &checkSnapshotSafe},
         {"backend-hot-path", &checkBackendHotPath},
         {"mutex-unguarded", &checkMutexUnguarded},
     };
