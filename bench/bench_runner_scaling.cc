@@ -1,7 +1,10 @@
 /**
  * @file
  * Orchestration microbench: wall-clock of a fixed 12-point sweep at
- * 1 / 2 / 4 / 8 jobs.
+ * 1 / 2 / 4 / 8 jobs, plus the multi-process section -- the same
+ * campaign run by an in-process coordinator with N forked worker
+ * processes over a shared result store (docs/runner.md), cold and
+ * then shared-store-warm (the warm rerun must simulate nothing).
  *
  * The figure benches track what the simulator computes; this bench
  * tracks how fast the runner computes it, so later orchestration PRs
@@ -9,13 +12,30 @@
  * show their speedup against a recorded baseline. The sweep is the
  * same shape as the determinism test in tests/test_runner.cc: four
  * patterns x three request sizes with a short measurement window.
+ *
+ * Splices a "dist" section into BENCH_simcore.json (HMCSIM_PERF_JSON
+ * overrides the path); with HMCSIM_PERF_GUARD=1 the process fails if
+ * the distributed JSONL diverges from the local serial bytes or the
+ * warm rerun simulated anything.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <thread>
 
 #include "bench_common.hh"
+#include "dist/coordinator.hh"
+#include "dist/store.hh"
+#include "dist/worker.hh"
+#include "runner/result_cache.hh"
+#include "runner/sink.hh"
 #include "sim/logging.hh"
 
 namespace
@@ -70,6 +90,121 @@ results()
     return r;
 }
 
+// ---------------------------------------------------------------------
+// Multi-process section: coordinator + forked local workers
+// ---------------------------------------------------------------------
+
+constexpr unsigned distWorkers = 3;
+
+struct DistResults
+{
+    double coldMs = 0.0;
+    double warmMs = 0.0;
+    std::uint64_t warmSimulated = 0;
+    bool byteIdentical = false;
+};
+
+std::string
+serialJsonl()
+{
+    std::ostringstream out;
+    JsonLinesSink sink(out);
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.sweepSeed = benchSweepSeed;
+    opts.sinks = {&sink};
+    SweepRunner(opts).run(scalingAxes());
+    return out.str();
+}
+
+/** Fork a worker process that retries the connect until the
+ *  coordinator listens, serves it to drain, then exits. */
+pid_t
+forkWorker(const std::string &connectSpec, const std::string &storeDir)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    WorkerOptions w;
+    w.connectSpec = connectSpec;
+    w.jobs = 1;
+    w.storeDir = storeDir;
+    for (int tries = 0; tries < 1000; ++tries) {
+        if (runWorker(w) == 0)
+            ::_exit(0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ::_exit(1);
+}
+
+const DistResults &
+distResults()
+{
+    static const DistResults r = [] {
+        DistResults out{};
+        const std::filesystem::path dir =
+            std::filesystem::temp_directory_path() /
+            "hmcsim_bench_dist_store";
+        std::filesystem::remove_all(dir);
+        const std::filesystem::path sock =
+            std::filesystem::temp_directory_path() /
+            "hmcsim_bench_dist.sock";
+        std::filesystem::remove(sock);
+        const std::string spec = "unix:" + sock.string();
+
+        const auto coordinate = [&](double &wall_ms,
+                                    DistSweepStats &stats,
+                                    bool with_workers) {
+            // The coordinator consults the store but never claims;
+            // claiming is the workers' job.
+            SharedResultStore store({dir.string(), 300});
+            ResultCache cache(store);
+            std::ostringstream text;
+            JsonLinesSink sink(text);
+            DistSweepOptions opts;
+            opts.listenSpec = spec;
+            opts.sweep.sweepSeed = benchSweepSeed;
+            opts.sweep.cache = &cache;
+            opts.sweep.sinks = {&sink};
+
+            std::vector<pid_t> workers;
+            if (with_workers)
+                for (unsigned i = 0; i < distWorkers; ++i)
+                    workers.push_back(forkWorker(spec, dir.string()));
+
+            const auto start = std::chrono::steady_clock::now();
+            runDistributedSweep(scalingAxes(), opts, &stats);
+            const auto stop = std::chrono::steady_clock::now();
+            wall_ms = std::chrono::duration<double, std::milli>(
+                          stop - start)
+                          .count();
+            for (const pid_t pid : workers) {
+                int status = 0;
+                ::waitpid(pid, &status, 0);
+            }
+            return text.str();
+        };
+
+        DistSweepStats cold;
+        const std::string coldJsonl =
+            coordinate(out.coldMs, cold, true);
+
+        // Shared-store-warm rerun: every point is already in the
+        // store, so the coordinator never even listens.
+        DistSweepStats warm;
+        const std::string warmJsonl =
+            coordinate(out.warmMs, warm, false);
+        out.warmSimulated = warm.simulated;
+
+        const std::string local = serialJsonl();
+        out.byteIdentical =
+            coldJsonl == local && warmJsonl == local;
+        std::filesystem::remove_all(dir);
+        return out;
+    }();
+    return r;
+}
+
 void
 printFigure()
 {
@@ -90,6 +225,75 @@ printFigure()
     std::printf("\nResults are bit-identical at every job count (the "
                 "runner's determinism contract); only the wall clock "
                 "changes.\n\n");
+
+    const DistResults &d = distResults();
+    std::printf("Multi-process: coordinator + %u forked workers over "
+                "a shared result store\n\n",
+                distWorkers);
+    TextTable dist({"Run", "Wall ms", "vs local 1j"});
+    dist.addRow({"local --jobs 1", strfmt("%.0f", r.wallMs[0]), "1.00x"});
+    dist.addRow({"dist cold", strfmt("%.0f", d.coldMs),
+                 strfmt("%.2fx", r.wallMs[0] / d.coldMs)});
+    dist.addRow({"dist store-warm", strfmt("%.2f", d.warmMs),
+                 strfmt("%.0fx", r.wallMs[0] / d.warmMs)});
+    dist.print();
+    std::printf("\nDistributed JSONL %s the local serial bytes; warm "
+                "rerun simulated %llu point(s).\n\n",
+                d.byteIdentical ? "matches" : "DIVERGES FROM",
+                static_cast<unsigned long long>(d.warmSimulated));
+}
+
+/**
+ * Splice the "dist" section into the perf-harness JSON
+ * (BENCH_simcore.json): read what the earlier benches wrote, strip
+ * the closing brace, append. Standalone when the file is absent.
+ */
+void
+writeJson()
+{
+    const ScalingResults &r = results();
+    const DistResults &d = distResults();
+    const char *path = std::getenv("HMCSIM_PERF_JSON");
+    if (!path)
+        path = "BENCH_simcore.json";
+
+    std::string existing;
+    if (std::FILE *in = std::fopen(path, "r")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+            existing.append(buf, n);
+        std::fclose(in);
+        while (!existing.empty() &&
+               (existing.back() == '\n' || existing.back() == ' '))
+            existing.pop_back();
+        if (!existing.empty() && existing.back() == '}')
+            existing.pop_back();
+        else
+            existing.clear(); // malformed; start fresh
+    }
+
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    if (existing.empty())
+        std::fprintf(f, "{\n");
+    else
+        std::fprintf(f, "%s,\n", existing.c_str());
+    std::fprintf(
+        f,
+        "  \"dist\": {\"points\": 12, \"workers\": %u, "
+        "\"local_1j_ms\": %.3f, \"cold_ms\": %.3f, "
+        "\"store_warm_ms\": %.3f, \"warm_simulated\": %llu, "
+        "\"byte_identical\": %s}\n",
+        distWorkers, r.wallMs[0], d.coldMs, d.warmMs,
+        static_cast<unsigned long long>(d.warmSimulated),
+        d.byteIdentical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (dist section)\n\n", path);
 }
 
 void
@@ -104,6 +308,10 @@ BM_RunnerScaling(benchmark::State &state)
     state.counters["speedup_4j"] = r.wallMs[0] / r.wallMs[2];
     state.counters["speedup_8j"] = r.wallMs[0] / r.wallMs[3];
     state.counters["hw_threads"] = ThreadPool::hardwareConcurrency();
+
+    const DistResults &d = distResults();
+    state.counters["dist_cold_ms"] = d.coldMs;
+    state.counters["dist_warm_ms"] = d.warmMs;
 }
 BENCHMARK(BM_RunnerScaling);
 
@@ -114,7 +322,27 @@ main(int argc, char **argv)
 {
     hmcsim::setInformEnabled(false);
     printFigure();
+    writeJson();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+
+    const char *guard = std::getenv("HMCSIM_PERF_GUARD");
+    if (guard && guard[0] == '1') {
+        const DistResults &d = distResults();
+        if (!d.byteIdentical) {
+            std::fprintf(stderr,
+                         "FAIL: distributed sweep output diverges "
+                         "from the local serial bytes\n");
+            return 1;
+        }
+        if (d.warmSimulated != 0) {
+            std::fprintf(stderr,
+                         "FAIL: shared-store-warm rerun simulated "
+                         "%llu point(s) (expected 0)\n",
+                         static_cast<unsigned long long>(
+                             d.warmSimulated));
+            return 1;
+        }
+    }
     return 0;
 }

@@ -19,7 +19,10 @@
  * attach the lifecycle tracer (docs/observability.md).
  */
 
+#include <signal.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.hh"
+#include "dist/store.hh"
+#include "dist/worker.hh"
 #include "host/experiment.hh"
 #include "host/trace_replay.hh"
 #include "mem/backend.hh"
@@ -57,6 +63,8 @@ printHelp(std::FILE *out)
         "       hmcsim_cli trace [options]        traced experiment\n"
         "       hmcsim_cli serve [options]        streaming request "
         "service\n"
+        "       hmcsim_cli worker [options]       distributed sweep "
+        "worker\n"
         "\n"
         "experiment options (all commands):\n"
         "  --mix ro|wo|rw|atomic      request mix          (default ro)\n"
@@ -103,8 +111,23 @@ printHelp(std::FILE *out)
         "(\"-\" = stdout)\n"
         "  --csv-out FILE             CSV results\n"
         "  --cache DIR                persistent result cache\n"
+        "  --store DIR                shared cross-process result "
+        "store\n"
+        "                             (claims divide work between\n"
+        "                             processes; docs/runner.md)\n"
+        "  --workers unix:P|tcp:H:P   coordinate remote `worker`\n"
+        "                             processes instead of running\n"
+        "                             locally (output stays byte-\n"
+        "                             identical to --jobs 1)\n"
         "  --timing                   include wall-clock metadata\n"
         "                             (nondeterministic; off for diffs)\n"
+        "\n"
+        "worker options (serves one `sweep --workers` coordinator):\n"
+        "  --connect unix:P|tcp:H:P   coordinator address (required)\n"
+        "  --jobs N                   local simulation threads\n"
+        "  --store DIR                shared result store to consult\n"
+        "                             and feed\n"
+        "  --batch N                  points per lease  (default: jobs)\n"
         "\n"
         "serve options (docs/service.md has the line protocol):\n"
         "  --in FILE                  request script (default stdin)\n"
@@ -112,6 +135,8 @@ printHelp(std::FILE *out)
         "  --jobs N                   default worker count\n"
         "  --cache DIR                persistent result cache for\n"
         "                             `sweep` requests\n"
+        "  --store DIR                shared cross-process result store\n"
+        "                             consulted before simulating\n"
         "  requests, one per line ('#' comments, blank lines ok):\n"
         "    sweep k=v ...            one sweep point; keys mix, size,\n"
         "                             vaults, banks, ports, mode,\n"
@@ -122,7 +147,8 @@ printHelp(std::FILE *out)
         "                             burst_rate, calm_us, burst_us,\n"
         "                             trace, router, hot_fraction,\n"
         "                             keys, size, vaults, seed, jobs\n"
-        "    quit                     end the session\n"
+        "    quit | shutdown          end the session (sinks flushed;\n"
+        "                             SIGINT/EOF flush too)\n"
         "\n"
         "tracing options (run, sweep, trace):\n"
         "  --trace-out FILE           Chrome/Perfetto JSON "
@@ -440,6 +466,8 @@ runSweepCommand(int argc, char **argv, int first)
     std::string outPath;
     std::string csvPath;
     std::string cacheDir;
+    std::string storeDir;
+    std::string workersSpec;
     bool timing = false;
     base.cfg.warmup = 10 * tickUs;
     base.cfg.measure = 100 * tickUs;
@@ -462,6 +490,10 @@ runSweepCommand(int argc, char **argv, int first)
             csvPath = next(argc, argv, i);
         } else if (arg == "--cache") {
             cacheDir = next(argc, argv, i);
+        } else if (arg == "--store") {
+            storeDir = next(argc, argv, i);
+        } else if (arg == "--workers") {
+            workersSpec = next(argc, argv, i);
         } else if (arg == "--warm-start") {
             opts.warmStart = true;
         } else if (arg == "--same-seeds") {
@@ -543,8 +575,31 @@ runSweepCommand(int argc, char **argv, int first)
     if (axes.patterns.empty())
         axes.patterns = paperPatternAxis(mapper);
 
+    if (!storeDir.empty() && !cacheDir.empty()) {
+        std::fprintf(stderr,
+                     "--store and --cache are exclusive; the store "
+                     "already persists results\n");
+        return 1;
+    }
+    std::unique_ptr<SharedResultStore> store;
+    std::unique_ptr<ClaimedResultStorage> claimed;
     std::unique_ptr<ResultCache> cache;
-    if (!cacheDir.empty()) {
+    if (!storeDir.empty()) {
+        store = std::make_unique<SharedResultStore>(
+            SharedResultStore::Options{storeDir, 300});
+        if (workersSpec.empty()) {
+            // Local sweep over a shared store: claims make concurrent
+            // processes on the same grid divide the points between
+            // them instead of simulating everything twice.
+            claimed = std::make_unique<ClaimedResultStorage>(*store);
+            cache = std::make_unique<ResultCache>(*claimed);
+        } else {
+            // Coordinator mode: consult the store but never claim --
+            // leasing and claiming are the workers' job.
+            cache = std::make_unique<ResultCache>(*store);
+        }
+        opts.cache = cache.get();
+    } else if (!cacheDir.empty()) {
         cache = std::make_unique<ResultCache>(cacheDir);
         opts.cache = cache.get();
     }
@@ -583,9 +638,25 @@ runSweepCommand(int argc, char **argv, int first)
         opts.sinks.push_back(csvSink.get());
     }
 
-    SweepRunner runner(opts);
+    if (!workersSpec.empty() && !trace.outPath.empty()) {
+        std::fprintf(stderr,
+                     "--trace-out needs the simulators in-process; "
+                     "drop --workers or the trace flags\n");
+        return 1;
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<SweepPointResult> results = runner.run(axes);
+    std::vector<SweepPointResult> results;
+    DistSweepStats dist;
+    if (!workersSpec.empty()) {
+        DistSweepOptions distOpts;
+        distOpts.listenSpec = workersSpec;
+        distOpts.sweep = opts;
+        results = runDistributedSweep(axes, distOpts, &dist);
+    } else {
+        SweepRunner runner(opts);
+        results = runner.run(axes);
+    }
     const auto stop = std::chrono::steady_clock::now();
 
     if (!trace.outPath.empty()) {
@@ -598,13 +669,62 @@ runSweepCommand(int argc, char **argv, int first)
     std::size_t cached = 0;
     for (const SweepPointResult &point : results)
         cached += point.fromCache ? 1 : 0;
-    const unsigned jobs =
-        opts.jobs ? opts.jobs : ThreadPool::hardwareConcurrency();
-    std::fprintf(
-        stderr, "sweep: %zu points (%zu cached), %u jobs, %.2f s\n",
-        results.size(), cached, jobs,
-        std::chrono::duration<double>(stop - start).count());
+    if (!workersSpec.empty()) {
+        std::fprintf(stderr,
+                     "sweep: %zu points (%zu simulated, %zu cached), "
+                     "%u workers, %.2f s\n",
+                     results.size(), dist.simulated, cached,
+                     dist.workersSeen,
+                     std::chrono::duration<double>(stop - start)
+                         .count());
+    } else {
+        const unsigned jobs =
+            opts.jobs ? opts.jobs : ThreadPool::hardwareConcurrency();
+        std::fprintf(
+            stderr,
+            "sweep: %zu points (%zu cached), %u jobs, %.2f s\n",
+            results.size(), cached, jobs,
+            std::chrono::duration<double>(stop - start).count());
+    }
     return 0;
+}
+
+/** The `worker` subcommand: serve one `sweep --workers` coordinator. */
+int
+runWorkerCommand(int argc, char **argv, int first)
+{
+    WorkerOptions opts;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return 0;
+        }
+        if (arg == "--connect") {
+            opts.connectSpec = next(argc, argv, i);
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else if (arg == "--store") {
+            opts.storeDir = next(argc, argv, i);
+        } else if (arg == "--batch") {
+            opts.batch = static_cast<unsigned>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else if (arg == "--throttle-ms") {
+            opts.throttleMs = static_cast<unsigned>(
+                std::strtoul(next(argc, argv, i), nullptr, 0));
+        } else if (arg == "--die-after") {
+            opts.dieAfter = static_cast<int>(
+                std::strtol(next(argc, argv, i), nullptr, 0));
+        } else {
+            usage();
+        }
+    }
+    if (opts.connectSpec.empty()) {
+        std::fprintf(stderr, "worker: --connect is required\n");
+        return 1;
+    }
+    return runWorker(opts);
 }
 
 /** The `run` subcommand -- also the legacy flag-style entry point. */
@@ -993,6 +1113,15 @@ serveTrafficRequest(const std::vector<std::string> &tokens,
     return true;
 }
 
+/** Set by SIGINT so the serve loop can exit through its flush path. */
+volatile std::sig_atomic_t gServeInterrupted = 0;
+
+extern "C" void
+serveSigint(int)
+{
+    gServeInterrupted = 1;
+}
+
 /**
  * The `serve` subcommand: a long-running session reading one request
  * per line from --in (default stdin) and streaming JSONL results to
@@ -1004,6 +1133,7 @@ runServeCommand(int argc, char **argv, int first)
     std::string inPath;
     std::string outPath = "-";
     std::string cacheDir;
+    std::string storeDir;
     unsigned jobs = 0;
 
     for (int i = first; i < argc; ++i) {
@@ -1018,12 +1148,20 @@ runServeCommand(int argc, char **argv, int first)
             outPath = next(argc, argv, i);
         } else if (arg == "--cache") {
             cacheDir = next(argc, argv, i);
+        } else if (arg == "--store") {
+            storeDir = next(argc, argv, i);
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(
                 std::strtoul(next(argc, argv, i), nullptr, 0));
         } else {
             usage();
         }
+    }
+    if (!storeDir.empty() && !cacheDir.empty()) {
+        std::fprintf(stderr,
+                     "--store and --cache are exclusive; the store "
+                     "already persists results\n");
+        return 1;
     }
 
     std::ifstream inFile;
@@ -1041,22 +1179,46 @@ runServeCommand(int argc, char **argv, int first)
 
     // The in-memory cache spans the whole session even without
     // --cache: a repeated sweep request is served, not re-simulated.
-    ResultCache cache(cacheDir);
+    // With --store it tiers onto the shared cross-process store, so
+    // points another process already ran are served without
+    // simulating.
+    std::unique_ptr<SharedResultStore> store;
+    std::unique_ptr<ClaimedResultStorage> claimed;
+    std::unique_ptr<ResultCache> cache;
+    if (!storeDir.empty()) {
+        store = std::make_unique<SharedResultStore>(
+            SharedResultStore::Options{storeDir, 300});
+        claimed = std::make_unique<ClaimedResultStorage>(*store);
+        cache = std::make_unique<ResultCache>(*claimed);
+    } else {
+        cache = std::make_unique<ResultCache>(cacheDir);
+    }
     JsonLinesSink sink(*out);
     sink.setStreaming(true);
+
+    // SIGINT must not kill the process mid-line: the handler sets a
+    // flag and (no SA_RESTART) the blocking getline fails with EINTR,
+    // so the loop exits through the same flush path as EOF/quit.
+    gServeInterrupted = 0;
+    struct sigaction sa = {};
+    struct sigaction prev = {};
+    sa.sa_handler = serveSigint;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, &prev);
 
     std::uint64_t served = 0;
     std::uint64_t failed = 0;
     std::string line;
-    while (std::getline(*in, line)) {
+    while (!gServeInterrupted && std::getline(*in, line)) {
         const std::vector<std::string> tokens = splitTokens(line);
         if (tokens.empty() || tokens[0][0] == '#')
             continue;
-        if (tokens[0] == "quit")
+        if (tokens[0] == "quit" || tokens[0] == "shutdown")
             break;
         bool ok = false;
         if (tokens[0] == "sweep")
-            ok = serveSweepRequest(tokens, sink, &cache, jobs);
+            ok = serveSweepRequest(tokens, sink, cache.get(), jobs);
         else if (tokens[0] == "traffic")
             ok = serveTrafficRequest(tokens, *out, jobs);
         else
@@ -1064,13 +1226,21 @@ runServeCommand(int argc, char **argv, int first)
                          tokens[0].c_str());
         ++(ok ? served : failed);
     }
+    // Every exit path -- quit/shutdown verb, input EOF, SIGINT --
+    // lands here: close the JSONL array state and push buffered
+    // bytes out before the process goes away. The caches persist at
+    // store() time, so results are already durable.
     sink.finish();
+    out->flush();
+    ::sigaction(SIGINT, &prev, nullptr);
+    if (gServeInterrupted)
+        std::fprintf(stderr, "serve: interrupted, flushing\n");
     std::fprintf(stderr,
                  "serve: session done, %llu served, %llu failed "
                  "(%llu cache hits)\n",
                  static_cast<unsigned long long>(served),
                  static_cast<unsigned long long>(failed),
-                 static_cast<unsigned long long>(cache.hits()));
+                 static_cast<unsigned long long>(cache->hits()));
     return failed ? 1 : 0;
 }
 
@@ -1090,6 +1260,8 @@ main(int argc, char **argv)
         return runTraceCommand(argc, argv, 2);
     if (cmd == "serve")
         return runServeCommand(argc, argv, 2);
+    if (cmd == "worker")
+        return runWorkerCommand(argc, argv, 2);
     if (cmd == "--help" || cmd == "-h") {
         printHelp(stdout);
         return 0;

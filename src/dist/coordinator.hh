@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Distributed sweep coordinator.
+ *
+ * runDistributedSweep() is SweepRunner::run() with the ThreadPool
+ * swapped for a fleet of worker processes: it expands the canonical
+ * axis grid, derives every seed up front (the same deriveSeed() the
+ * single-process path uses), listens on a socket, leases batches of
+ * points to whichever workers connect, and lands each result in its
+ * pre-assigned canonical slot. Sinks run on the coordinator thread,
+ * in canonical order, after the last slot fills -- exactly as
+ * SweepRunner does -- so the merged JSONL/CSV output is byte-identical
+ * to a single-process `--jobs 1` run no matter how many workers
+ * served it, which ones died, or in what order leases were reclaimed
+ * (docs/runner.md, "Distributed execution").
+ *
+ * Fault model: a worker connection dropping returns its outstanding
+ * leases to the pending queue; any surviving (or future) worker picks
+ * them up. The coordinator itself is single-threaded around poll(),
+ * so there is no cross-thread state to corrupt.
+ */
+
+#ifndef HMCSIM_DIST_COORDINATOR_HH
+#define HMCSIM_DIST_COORDINATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+
+namespace hmcsim
+{
+
+/** Knobs of one distributed sweep session. */
+struct DistSweepOptions
+{
+    /** Address to listen on: `unix:/path` or `tcp:host:port`. */
+    std::string listenSpec;
+    /**
+     * SweepRunner-compatible options. `sinks`, `cache`, `sweepSeed`,
+     * `deriveSeeds`, and `warmStart` mean exactly what they mean
+     * there (warmStart is forwarded to workers in the welcome);
+     * `jobs` and `trace` are unused -- parallelism lives in the
+     * workers, and tracing requires the single-process path.
+     */
+    SweepOptions sweep;
+};
+
+/** Observability counters of one coordinator run. */
+struct DistSweepStats
+{
+    std::size_t points = 0;
+    /** Points a worker actually simulated. */
+    std::size_t simulated = 0;
+    /** Points served from a worker's cache/shared store. */
+    std::size_t fromStore = 0;
+    /** Points served from the coordinator's own cache pre-pass. */
+    std::size_t fromCoordinatorCache = 0;
+    /** Leases returned to the queue by worker deaths. */
+    std::size_t reclaimed = 0;
+    /** Distinct worker connections that completed a hello. */
+    unsigned workersSeen = 0;
+};
+
+/**
+ * Run @p configs to completion over remote workers; results in
+ * canonical (input) order, bit-identical to SweepRunner::run() on the
+ * same configs and options.
+ */
+std::vector<SweepPointResult>
+runDistributedSweep(std::vector<ExperimentConfig> configs,
+                    const DistSweepOptions &opts,
+                    DistSweepStats *stats = nullptr);
+
+/** Expand @p axes and run the cross product distributed. */
+std::vector<SweepPointResult>
+runDistributedSweep(const SweepAxes &axes,
+                    const DistSweepOptions &opts,
+                    DistSweepStats *stats = nullptr);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_DIST_COORDINATOR_HH

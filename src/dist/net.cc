@@ -1,0 +1,293 @@
+#include "dist/net.hh"
+
+#include <netdb.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** write() the whole buffer, resuming on EINTR and short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t ret = ::write(fd, data + done, n - done);
+        if (ret < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(ret);
+    }
+    return true;
+}
+
+/** read() exactly @p n bytes; false on EOF or error. */
+bool
+readAll(int fd, char *data, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t ret = ::read(fd, data + done, n - done);
+        if (ret < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (ret == 0)
+            return false;
+        done += static_cast<std::size_t>(ret);
+    }
+    return true;
+}
+
+void
+encodeLength(std::uint32_t n, char out[4])
+{
+    out[0] = static_cast<char>(n & 0xFF);
+    out[1] = static_cast<char>((n >> 8) & 0xFF);
+    out[2] = static_cast<char>((n >> 16) & 0xFF);
+    out[3] = static_cast<char>((n >> 24) & 0xFF);
+}
+
+std::uint32_t
+decodeLength(const char in[4])
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1]))
+            << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2]))
+            << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]))
+            << 24);
+}
+
+} // namespace
+
+bool
+parseNetAddress(const std::string &spec, NetAddress &out,
+                std::string &error)
+{
+    if (spec.rfind("unix:", 0) == 0) {
+        out.isUnix = true;
+        out.path = spec.substr(5);
+        if (out.path.empty()) {
+            error = "empty unix socket path in '" + spec + "'";
+            return false;
+        }
+        sockaddr_un probe{};
+        if (out.path.size() >= sizeof(probe.sun_path)) {
+            error = "unix socket path too long: '" + out.path + "'";
+            return false;
+        }
+        return true;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        out.isUnix = false;
+        const std::string rest = spec.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size()) {
+            error = "expected tcp:host:port, got '" + spec + "'";
+            return false;
+        }
+        out.host = rest.substr(0, colon);
+        out.port = rest.substr(colon + 1);
+        return true;
+    }
+    error = "address must start with unix: or tcp:, got '" + spec + "'";
+    return false;
+}
+
+std::string
+describeNetAddress(const NetAddress &addr)
+{
+    if (addr.isUnix)
+        return "unix:" + addr.path;
+    return "tcp:" + addr.host + ":" + addr.port;
+}
+
+namespace
+{
+
+int
+unixSocket(const NetAddress &addr, sockaddr_un &sa, std::string &error)
+{
+    sa = sockaddr_un{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.path.c_str(),
+                 sizeof(sa.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        error = std::string("socket: ") + std::strerror(errno);
+    return fd;
+}
+
+} // namespace
+
+int
+netListen(const NetAddress &addr, std::string &error)
+{
+    if (addr.isUnix) {
+        sockaddr_un sa;
+        const int fd = unixSocket(addr, sa, error);
+        if (fd < 0)
+            return -1;
+        ::unlink(addr.path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) != 0 ||
+            ::listen(fd, 64) != 0) {
+            error = "bind/listen " + describeNetAddress(addr) + ": " +
+                    std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    const int gai = ::getaddrinfo(addr.host.c_str(), addr.port.c_str(),
+                                  &hints, &res);
+    if (gai != 0) {
+        error = "resolve " + describeNetAddress(addr) + ": " +
+                ::gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 64) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        error = "bind/listen " + describeNetAddress(addr) + ": " +
+                std::strerror(errno);
+    return fd;
+}
+
+int
+netConnect(const NetAddress &addr, std::string &error)
+{
+    if (addr.isUnix) {
+        sockaddr_un sa;
+        const int fd = unixSocket(addr, sa, error);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) != 0) {
+            error = "connect " + describeNetAddress(addr) + ": " +
+                    std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int gai = ::getaddrinfo(addr.host.c_str(), addr.port.c_str(),
+                                  &hints, &res);
+    if (gai != 0) {
+        error = "resolve " + describeNetAddress(addr) + ": " +
+                ::gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        error = "connect " + describeNetAddress(addr) + ": " +
+                std::strerror(errno);
+    return fd;
+}
+
+std::string
+frameBytes(const std::string &payload)
+{
+    char prefix[4];
+    encodeLength(static_cast<std::uint32_t>(payload.size()), prefix);
+    std::string out(prefix, 4);
+    out += payload;
+    return out;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > maxFrameBytes)
+        return false;
+    const std::string bytes = frameBytes(payload);
+    return writeAll(fd, bytes.data(), bytes.size());
+}
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    char prefix[4];
+    if (!readAll(fd, prefix, 4))
+        return false;
+    const std::uint32_t n = decodeLength(prefix);
+    if (n > maxFrameBytes)
+        return false;
+    payload.resize(n);
+    return n == 0 || readAll(fd, payload.data(), n);
+}
+
+bool
+extractFrame(std::string &buffer, std::string &payload)
+{
+    if (buffer.size() < 4)
+        return false;
+    const std::uint32_t n = decodeLength(buffer.data());
+    if (n > maxFrameBytes) {
+        // Poisoned stream; drop everything so the caller sees EOF-like
+        // stall instead of looping forever on a bogus length.
+        buffer.clear();
+        return false;
+    }
+    if (buffer.size() < 4 + static_cast<std::size_t>(n))
+        return false;
+    payload.assign(buffer, 4, n);
+    buffer.erase(0, 4 + static_cast<std::size_t>(n));
+    return true;
+}
+
+void
+ignoreSigpipe()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+} // namespace hmcsim

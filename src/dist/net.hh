@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Socket plumbing for the distributed sweep protocol.
+ *
+ * Everything here is deliberately boring POSIX: a coordinator listens
+ * on a Unix-domain or TCP socket (`unix:/path` / `tcp:host:port`
+ * specs), workers connect, and both sides exchange length-prefixed
+ * frames (4-byte little-endian length, then that many payload bytes).
+ * The framing carries opaque text payloads -- protocol.hh defines
+ * what is inside them -- so this layer never needs to change when the
+ * protocol grows a verb.
+ *
+ * All calls are blocking and EINTR-safe; readFrame() returning false
+ * means EOF or a hard error, which the caller treats as "peer gone"
+ * (the coordinator then reclaims the peer's leases).
+ */
+
+#ifndef HMCSIM_DIST_NET_HH
+#define HMCSIM_DIST_NET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hmcsim
+{
+
+/** A parsed `unix:/path` or `tcp:host:port` address spec. */
+struct NetAddress
+{
+    bool isUnix = true;
+    /** Filesystem path of the Unix-domain socket. */
+    std::string path;
+    /** TCP host and service (numeric port or name). */
+    std::string host;
+    std::string port;
+};
+
+/** Parse an address spec; false + @p error on a malformed spec. */
+bool parseNetAddress(const std::string &spec, NetAddress &out,
+                     std::string &error);
+
+/** Human-readable form of @p addr (for logs and errors). */
+std::string describeNetAddress(const NetAddress &addr);
+
+/**
+ * Create a listening socket bound to @p addr (unlinking a stale Unix
+ * socket path first). Returns the fd, or -1 with @p error set.
+ */
+int netListen(const NetAddress &addr, std::string &error);
+
+/** Connect to @p addr. Returns the fd, or -1 with @p error set. */
+int netConnect(const NetAddress &addr, std::string &error);
+
+/** Upper bound on one frame's payload (a config is ~2 KiB). */
+constexpr std::uint32_t maxFrameBytes = 16u << 20;
+
+/**
+ * Write one length-prefixed frame. Returns false on any write error
+ * (including EPIPE -- callers must have SIGPIPE ignored, see
+ * ignoreSigpipe()).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one length-prefixed frame into @p payload. Returns false on
+ * EOF, a hard error, or an oversized length prefix.
+ */
+bool readFrame(int fd, std::string &payload);
+
+/**
+ * Incremental frame extraction for non-blocking readers: append raw
+ * bytes to @p buffer yourself, then call this until it returns false.
+ * On true, one complete frame was removed from the front of @p buffer
+ * into @p payload.
+ */
+bool extractFrame(std::string &buffer, std::string &payload);
+
+/** Length-prefix @p payload exactly as writeFrame() would send it. */
+std::string frameBytes(const std::string &payload);
+
+/**
+ * Ignore SIGPIPE process-wide so a worker vanishing mid-write surfaces
+ * as an EPIPE return value instead of killing the coordinator.
+ */
+void ignoreSigpipe();
+
+} // namespace hmcsim
+
+#endif // HMCSIM_DIST_NET_HH

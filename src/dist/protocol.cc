@@ -1,0 +1,177 @@
+#include "dist/protocol.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hmcsim
+{
+
+namespace
+{
+
+/** Token-wise "<verb> [v1] key value ..." reader. */
+bool
+expectToken(std::istringstream &in, const char *token)
+{
+    std::string word;
+    return (in >> word) && word == token;
+}
+
+bool
+atEnd(std::istringstream &in)
+{
+    std::string rest;
+    return !(in >> rest);
+}
+
+} // namespace
+
+std::string
+formatHello(unsigned jobs)
+{
+    std::ostringstream out;
+    out << "hello " << distProtocolVersion << " jobs " << jobs;
+    return out.str();
+}
+
+bool
+parseHello(const std::string &line, unsigned &jobs)
+{
+    std::istringstream in(line);
+    return expectToken(in, "hello") &&
+           expectToken(in, distProtocolVersion) &&
+           expectToken(in, "jobs") && (in >> jobs) && atEnd(in);
+}
+
+std::string
+formatWelcome(bool warm_start, std::size_t total_points)
+{
+    std::ostringstream out;
+    out << "welcome " << distProtocolVersion << " warm "
+        << (warm_start ? 1 : 0) << " points " << total_points;
+    return out.str();
+}
+
+bool
+parseWelcome(const std::string &line, bool &warm_start,
+             std::size_t &total_points)
+{
+    std::istringstream in(line);
+    unsigned warm = 0;
+    if (!(expectToken(in, "welcome") &&
+          expectToken(in, distProtocolVersion) &&
+          expectToken(in, "warm") && (in >> warm) &&
+          expectToken(in, "points") && (in >> total_points) &&
+          atEnd(in)))
+        return false;
+    warm_start = warm != 0;
+    return true;
+}
+
+std::string
+formatWant(unsigned max_points)
+{
+    std::ostringstream out;
+    out << "want " << max_points;
+    return out.str();
+}
+
+bool
+parseWant(const std::string &line, unsigned &max_points)
+{
+    std::istringstream in(line);
+    return expectToken(in, "want") && (in >> max_points) && atEnd(in);
+}
+
+std::string
+formatGranted(std::size_t count)
+{
+    std::ostringstream out;
+    out << "granted " << count;
+    return out.str();
+}
+
+bool
+parseGranted(const std::string &line, std::size_t &count)
+{
+    std::istringstream in(line);
+    return expectToken(in, "granted") && (in >> count) && atEnd(in);
+}
+
+std::string
+formatDrain()
+{
+    return "drain";
+}
+
+bool
+isDrain(const std::string &line)
+{
+    return line == "drain";
+}
+
+std::string
+formatPoint(std::size_t index, std::uint64_t digest,
+            const std::string &config_blob)
+{
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    std::ostringstream out;
+    out << "point " << index << ' ' << hex << '\n' << config_blob;
+    return out.str();
+}
+
+bool
+parsePointHeader(const std::string &line, std::size_t &index,
+                 std::uint64_t &digest)
+{
+    std::istringstream in(line);
+    std::string hex;
+    if (!(expectToken(in, "point") && (in >> index) && (in >> hex) &&
+          atEnd(in)))
+        return false;
+    char *end = nullptr;
+    digest = std::strtoull(hex.c_str(), &end, 16);
+    return end && *end == '\0' && !hex.empty();
+}
+
+std::string
+formatResult(std::size_t index, bool simulated,
+             const std::string &fields_blob)
+{
+    std::ostringstream out;
+    out << "result " << index << ' ' << (simulated ? 1 : 0) << '\n'
+        << fields_blob;
+    return out.str();
+}
+
+bool
+parseResultHeader(const std::string &line, std::size_t &index,
+                  bool &simulated)
+{
+    std::istringstream in(line);
+    unsigned sim = 0;
+    if (!(expectToken(in, "result") && (in >> index) && (in >> sim) &&
+          atEnd(in)))
+        return false;
+    simulated = sim != 0;
+    return true;
+}
+
+void
+splitFrame(const std::string &payload, std::string &header,
+           std::string &body)
+{
+    const std::size_t nl = payload.find('\n');
+    if (nl == std::string::npos) {
+        header = payload;
+        body.clear();
+        return;
+    }
+    header = payload.substr(0, nl);
+    body = payload.substr(nl + 1);
+}
+
+} // namespace hmcsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Distributed sweep worker.
+ *
+ * A worker is SweepRunner's execution half as a network client: it
+ * connects to a coordinator, leases batches of fully-resolved points
+ * (seed included -- workers never derive anything), runs each batch
+ * on its local ThreadPool with warm-start forking when the
+ * coordinator asked for it, and streams the results back. Pointing a
+ * worker at a shared result store (dist/store.hh) makes it consult
+ * and feed the store through ResultCache: store hits skip simulation
+ * entirely and claims keep two workers from simulating one point.
+ *
+ * Every decoded point is digest-verified against the coordinator's
+ * configDigest(), so a codec regression fails loudly instead of
+ * silently bending results.
+ */
+
+#ifndef HMCSIM_DIST_WORKER_HH
+#define HMCSIM_DIST_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hmcsim
+{
+
+/** One worker process's knobs. */
+struct WorkerOptions
+{
+    /** Coordinator address: `unix:/path` or `tcp:host:port`. */
+    std::string connectSpec;
+    /** Local simulation threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Shared result store directory (empty = none). */
+    std::string storeDir;
+    /** Points requested per lease; 0 = max(jobs, 2). */
+    unsigned batch = 0;
+    /**
+     * Test hook: sleep this long after receiving each lease before
+     * simulating. Guarantees a kill signal arriving mid-run finds the
+     * worker holding unprocessed leases (the CI dist-smoke job's
+     * reclaim scenario).
+     */
+    unsigned throttleMs = 0;
+    /**
+     * Test hook: abruptly _exit(3) after sending this many results,
+     * leaving any remaining leases outstanding for the coordinator to
+     * reclaim. Negative = never.
+     */
+    int dieAfter = -1;
+};
+
+/** Worker-side observability counters. */
+struct WorkerStats
+{
+    std::size_t pointsRun = 0;
+    std::size_t simulated = 0;
+    /** Served from the shared store instead of simulated. */
+    std::size_t fromStore = 0;
+};
+
+/**
+ * Serve one coordinator session to drain; returns a process exit
+ * code (0 on a clean drain, 1 on connect/protocol failure).
+ */
+int runWorker(const WorkerOptions &opts, WorkerStats *stats = nullptr);
+
+} // namespace hmcsim
+
+#endif // HMCSIM_DIST_WORKER_HH

@@ -1,6 +1,8 @@
 // lint:file(persistence) -- on-disk results must round-trip bit-exactly: %a hexfloat only, enforced by hmcsim-lint.
 #include "runner/result_cache.hh"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -100,8 +102,64 @@ takeStats(std::istream &in, const std::string &key, SampleStats &out)
 
 } // namespace
 
+std::string
+serializeResultFields(const CachedResult &value)
+{
+    const MeasurementResult &m = value.result;
+    std::ostringstream out;
+    out << "patternName " << m.patternName << '\n';
+    out << "mix " << static_cast<std::uint64_t>(m.mix) << '\n';
+    out << "requestSize " << m.requestSize << '\n';
+    out << "rawGBps " << fmtDouble(m.rawGBps) << '\n';
+    out << "mrps " << fmtDouble(m.mrps) << '\n';
+    out << "readMrps " << fmtDouble(m.readMrps) << '\n';
+    out << "writeMrps " << fmtDouble(m.writeMrps) << '\n';
+    out << "readPayloadGBps " << fmtDouble(m.readPayloadGBps) << '\n';
+    out << "writePayloadGBps " << fmtDouble(m.writePayloadGBps) << '\n';
+    putStats(out, "readLatencyNs", m.readLatencyNs);
+    putStats(out, "writeLatencyNs", m.writeLatencyNs);
+    out << "readLatencyP50Ns " << fmtDouble(m.readLatencyP50Ns) << '\n';
+    out << "readLatencyP99Ns " << fmtDouble(m.readLatencyP99Ns) << '\n';
+    out << "readLatencyP999Ns " << fmtDouble(m.readLatencyP999Ns)
+        << '\n';
+    out << "statDigest " << value.statDigest << '\n';
+    return out.str();
+}
+
+bool
+parseResultFields(std::istream &in, CachedResult &out)
+{
+    MeasurementResult &m = out.result;
+    std::uint64_t mix = 0;
+    if (!takeLine(in, "patternName", m.patternName) ||
+        !takeU64(in, "mix", mix) ||
+        !takeU64(in, "requestSize", m.requestSize) ||
+        !takeDouble(in, "rawGBps", m.rawGBps) ||
+        !takeDouble(in, "mrps", m.mrps) ||
+        !takeDouble(in, "readMrps", m.readMrps) ||
+        !takeDouble(in, "writeMrps", m.writeMrps) ||
+        !takeDouble(in, "readPayloadGBps", m.readPayloadGBps) ||
+        !takeDouble(in, "writePayloadGBps", m.writePayloadGBps) ||
+        !takeStats(in, "readLatencyNs", m.readLatencyNs) ||
+        !takeStats(in, "writeLatencyNs", m.writeLatencyNs) ||
+        !takeDouble(in, "readLatencyP50Ns", m.readLatencyP50Ns) ||
+        !takeDouble(in, "readLatencyP99Ns", m.readLatencyP99Ns) ||
+        !takeDouble(in, "readLatencyP999Ns", m.readLatencyP999Ns) ||
+        !takeU64(in, "statDigest", out.statDigest)) {
+        return false;
+    }
+    m.mix = static_cast<RequestMix>(mix);
+    return true;
+}
+
 ResultCache::ResultCache(std::string dir, std::size_t max_entries)
     : dir(std::move(dir)), maxEntries(max_entries ? max_entries : 1)
+{
+}
+
+ResultCache::ResultCache(ResultStorage &storage,
+                         std::size_t max_entries)
+    : storage(&storage), maxEntries(max_entries ? max_entries : 1)
 {
 }
 
@@ -133,52 +191,103 @@ ResultCache::insertLocked(std::uint64_t key, const CachedResult &value)
 }
 
 std::optional<CachedResult>
+ResultCache::loadFromDir(std::uint64_t key)
+{
+    std::ifstream in(pathFor(key));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (auto value = deserialize(text.str()))
+        return value;
+    warn("result cache: ignoring malformed entry %s",
+         pathFor(key).c_str());
+    {
+        MutexLock lock(mutex);
+        ++numCorrupt;
+    }
+    return std::nullopt;
+}
+
+std::optional<CachedResult>
 ResultCache::lookup(std::uint64_t key)
 {
-    MutexLock lock(mutex);
-    const auto it = entries.find(key);
-    if (it != entries.end()) {
-        lru.erase(it->second.lruIt);
-        lru.push_front(key);
-        it->second.lruIt = lru.begin();
-        ++numHits;
-        return it->second.value;
-    }
-    if (!dir.empty()) {
-        std::ifstream in(pathFor(key));
-        if (in) {
-            std::ostringstream text;
-            text << in.rdbuf();
-            if (auto value = deserialize(text.str())) {
-                insertLocked(key, *value);
-                ++numHits;
-                return value;
-            }
-            warn("result cache: ignoring malformed entry %s",
-                 pathFor(key).c_str());
+    {
+        MutexLock lock(mutex);
+        const auto it = entries.find(key);
+        if (it != entries.end()) {
+            lru.erase(it->second.lruIt);
+            lru.push_front(key);
+            it->second.lruIt = lru.begin();
+            ++numHits;
+            return it->second.value;
         }
+    }
+
+    // Persistence-tier I/O runs unlocked so a slow disk or claim wait
+    // stalls only this thread. Two threads may both miss here and
+    // simulate the same point once each; the results are identical by
+    // the determinism contract, so the duplicate write is harmless.
+    std::optional<CachedResult> loaded;
+    if (storage)
+        loaded = storage->load(key);
+    else if (!dir.empty())
+        loaded = loadFromDir(key);
+
+    MutexLock lock(mutex);
+    if (loaded) {
+        insertLocked(key, *loaded);
+        ++numHits;
+        return loaded;
     }
     ++numMisses;
     return std::nullopt;
 }
 
 void
-ResultCache::store(std::uint64_t key, const CachedResult &value)
+ResultCache::saveToDir(std::uint64_t key, const CachedResult &value)
 {
-    MutexLock lock(mutex);
-    insertLocked(key, value);
-    if (dir.empty())
-        return;
-
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     const std::string path = pathFor(key);
-    std::ofstream out(path);
-    if (!out) {
-        warn("result cache: cannot write %s", path.c_str());
-        return;
+    // Write-to-temp + atomic rename: a reader either sees the whole
+    // entry or none of it, even if this process dies mid-write. The
+    // pid suffix keeps concurrent writers of the same key from
+    // clobbering each other's temp file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("result cache: cannot write %s", tmp.c_str());
+            return;
+        }
+        out << serialize(value);
+        if (!out.flush()) {
+            warn("result cache: short write to %s", tmp.c_str());
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
     }
-    out << serialize(value);
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: cannot rename %s -> %s", tmp.c_str(),
+             path.c_str());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+void
+ResultCache::store(std::uint64_t key, const CachedResult &value)
+{
+    {
+        MutexLock lock(mutex);
+        insertLocked(key, value);
+    }
+    if (storage)
+        storage->save(key, value);
+    else if (!dir.empty())
+        saveToDir(key, value);
 }
 
 std::uint64_t
@@ -195,6 +304,13 @@ ResultCache::misses() const
     return numMisses;
 }
 
+std::uint64_t
+ResultCache::corruptEntries() const
+{
+    MutexLock lock(mutex);
+    return numCorrupt;
+}
+
 std::size_t
 ResultCache::size() const
 {
@@ -205,30 +321,15 @@ ResultCache::size() const
 std::string
 ResultCache::serialize(const CachedResult &value)
 {
-    const MeasurementResult &m = value.result;
     std::ostringstream out;
     // v3 extends the config digest with the vault-backend id and its
     // parameters ("hmcsim.experiment.v2"); bumping the header turns
     // every pre-backend v2 entry on disk into a clean cache miss
     // (re-simulated, then rewritten in v3). v2 added
-    // readLatencyP999Ns over v1.
+    // readLatencyP999Ns over v1. The distributed shared store writes
+    // the same field body under a v4 header (dist/store.cc).
     out << "hmcsim-result v3\n";
-    out << "patternName " << m.patternName << '\n';
-    out << "mix " << static_cast<std::uint64_t>(m.mix) << '\n';
-    out << "requestSize " << m.requestSize << '\n';
-    out << "rawGBps " << fmtDouble(m.rawGBps) << '\n';
-    out << "mrps " << fmtDouble(m.mrps) << '\n';
-    out << "readMrps " << fmtDouble(m.readMrps) << '\n';
-    out << "writeMrps " << fmtDouble(m.writeMrps) << '\n';
-    out << "readPayloadGBps " << fmtDouble(m.readPayloadGBps) << '\n';
-    out << "writePayloadGBps " << fmtDouble(m.writePayloadGBps) << '\n';
-    putStats(out, "readLatencyNs", m.readLatencyNs);
-    putStats(out, "writeLatencyNs", m.writeLatencyNs);
-    out << "readLatencyP50Ns " << fmtDouble(m.readLatencyP50Ns) << '\n';
-    out << "readLatencyP99Ns " << fmtDouble(m.readLatencyP99Ns) << '\n';
-    out << "readLatencyP999Ns " << fmtDouble(m.readLatencyP999Ns)
-        << '\n';
-    out << "statDigest " << value.statDigest << '\n';
+    out << serializeResultFields(value);
     return out.str();
 }
 
@@ -241,26 +342,8 @@ ResultCache::deserialize(const std::string &text)
         return std::nullopt;
 
     CachedResult value;
-    MeasurementResult &m = value.result;
-    std::uint64_t mix = 0;
-    if (!takeLine(in, "patternName", m.patternName) ||
-        !takeU64(in, "mix", mix) ||
-        !takeU64(in, "requestSize", m.requestSize) ||
-        !takeDouble(in, "rawGBps", m.rawGBps) ||
-        !takeDouble(in, "mrps", m.mrps) ||
-        !takeDouble(in, "readMrps", m.readMrps) ||
-        !takeDouble(in, "writeMrps", m.writeMrps) ||
-        !takeDouble(in, "readPayloadGBps", m.readPayloadGBps) ||
-        !takeDouble(in, "writePayloadGBps", m.writePayloadGBps) ||
-        !takeStats(in, "readLatencyNs", m.readLatencyNs) ||
-        !takeStats(in, "writeLatencyNs", m.writeLatencyNs) ||
-        !takeDouble(in, "readLatencyP50Ns", m.readLatencyP50Ns) ||
-        !takeDouble(in, "readLatencyP99Ns", m.readLatencyP99Ns) ||
-        !takeDouble(in, "readLatencyP999Ns", m.readLatencyP999Ns) ||
-        !takeU64(in, "statDigest", value.statDigest)) {
+    if (!parseResultFields(in, value))
         return std::nullopt;
-    }
-    m.mix = static_cast<RequestMix>(mix);
     return value;
 }
 

@@ -17,6 +17,7 @@
 #define HMCSIM_SIM_WALLCLOCK_HH
 
 #include <chrono>
+#include <cstdint>
 
 namespace hmcsim
 {
@@ -36,6 +37,24 @@ inline double
 wallMsBetween(WallClockSample start, WallClockSample stop)
 {
     return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+/**
+ * Seconds since the Unix epoch, from the host's real-time clock.
+ *
+ * Unlike WallClockSample this value is meaningful *across processes
+ * and machines*: the distributed result store (dist/store.hh) stamps
+ * claim records with it so any process sharing the filesystem can
+ * decide whether a lease has expired. Like every host-time read it is
+ * metadata only -- lease arbitration changes who simulates a point,
+ * never what the point's bytes are.
+ */
+inline std::int64_t
+wallClockEpochSeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
         .count();
 }
 

@@ -1,0 +1,677 @@
+/**
+ * @file
+ * Tests for the distributed sweep execution layer (src/dist/): wire
+ * codec fidelity (digest-preserving round trips), frame plumbing, the
+ * shared content-addressed result store (atomic writes, legacy-format
+ * migration, claim arbitration incl. crashed- and expired-owner
+ * steals), cross-process work division via fork, and the headline
+ * contract -- a coordinator + workers session emits byte-identical
+ * JSONL to a local serial sweep, including across a client that leases
+ * points and dies without resulting them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "dist/coordinator.hh"
+#include "dist/net.hh"
+#include "dist/protocol.hh"
+#include "dist/store.hh"
+#include "dist/wire.hh"
+#include "dist/worker.hh"
+#include "runner/config_digest.hh"
+#include "runner/sink.hh"
+#include "runner/sweep.hh"
+
+namespace
+{
+
+using namespace hmcsim;
+
+std::filesystem::path
+freshDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+// ---------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------
+
+/** A config with digest-visible fields pushed off their defaults, so
+ *  a codec that drops or bends any of them cannot round-trip the
+ *  digest. */
+ExperimentConfig
+wireTestConfig()
+{
+    ExperimentConfig cfg;
+    cfg.pattern.name = "wire 100% tricky\nname";
+    cfg.pattern.mask ^= 0x80;
+    cfg.mix = RequestMix::Atomic;
+    cfg.requestSize = 48;
+    cfg.mode = AddressingMode::Linear;
+    cfg.numPorts = 3;
+    cfg.warmup = 7 * tickUs;
+    cfg.measure = 33 * tickUs;
+    cfg.seed = 0x123456789ABCDEFull;
+    cfg.device.mapping = MappingScheme::BankFirst;
+    cfg.device.vault.timings.tRcd += 1;
+    cfg.device.vault.backend.kind = BackendKind::Nvm;
+    cfg.device.vault.backend.nvmWriteLatency += 3;
+    cfg.controller.bitErrorRate = 1e-12;
+    return cfg;
+}
+
+TEST(WireCodec, RoundTripPreservesDigestAndSeed)
+{
+    const ExperimentConfig cfg = wireTestConfig();
+    ExperimentConfig back;
+    ASSERT_TRUE(decodeExperimentConfig(encodeExperimentConfig(cfg),
+                                       back));
+    // Digest equality is the completeness proof: every field the
+    // canonical digest hashes survived the trip (the escaped pattern
+    // name included), and the resolved seed rode along.
+    EXPECT_EQ(configDigest(back), configDigest(cfg));
+    EXPECT_EQ(back.seed, cfg.seed);
+    EXPECT_EQ(back.pattern.name, cfg.pattern.name);
+}
+
+TEST(WireCodec, RejectsTruncationAndGarbage)
+{
+    const std::string blob =
+        encodeExperimentConfig(wireTestConfig());
+    ExperimentConfig out;
+    // Drop the last line: strict ordered parsing must fail, never
+    // fill the tail with defaults.
+    const std::size_t cut = blob.rfind('\n', blob.size() - 2);
+    EXPECT_FALSE(
+        decodeExperimentConfig(blob.substr(0, cut + 1), out));
+    EXPECT_FALSE(decodeExperimentConfig("nonsense", out));
+    EXPECT_FALSE(decodeExperimentConfig("", out));
+}
+
+// ---------------------------------------------------------------------
+// Frames and protocol verbs
+// ---------------------------------------------------------------------
+
+TEST(Frames, ExtractIncrementallyFromBytePieces)
+{
+    const std::string wire =
+        frameBytes("first payload") + frameBytes(std::string(1, '\0'));
+    std::string buffer;
+    std::vector<std::string> got;
+    std::string payload;
+    // Worst-case delivery: one byte at a time.
+    for (const char byte : wire) {
+        buffer.push_back(byte);
+        while (extractFrame(buffer, payload))
+            got.push_back(payload);
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], "first payload");
+    EXPECT_EQ(got[1], std::string(1, '\0'));
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Frames, SocketRoundTrip)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string payload = "hello v1 jobs 4";
+    EXPECT_TRUE(writeFrame(fds[0], payload));
+    std::string back;
+    EXPECT_TRUE(readFrame(fds[1], back));
+    EXPECT_EQ(back, payload);
+    ::close(fds[0]);
+    // EOF is a clean false, not a hang.
+    EXPECT_FALSE(readFrame(fds[1], back));
+    ::close(fds[1]);
+}
+
+TEST(Protocol, VerbsRoundTrip)
+{
+    unsigned jobs = 0;
+    EXPECT_TRUE(parseHello(formatHello(8), jobs));
+    EXPECT_EQ(jobs, 8u);
+
+    bool warm = false;
+    std::size_t total = 0;
+    EXPECT_TRUE(parseWelcome(formatWelcome(true, 12), warm, total));
+    EXPECT_TRUE(warm);
+    EXPECT_EQ(total, 12u);
+
+    unsigned want = 0;
+    EXPECT_TRUE(parseWant(formatWant(3), want));
+    EXPECT_EQ(want, 3u);
+
+    std::size_t count = 0;
+    EXPECT_TRUE(parseGranted(formatGranted(5), count));
+    EXPECT_EQ(count, 5u);
+
+    EXPECT_TRUE(isDrain(formatDrain()));
+    EXPECT_FALSE(isDrain(formatWant(1)));
+
+    std::string header, body;
+    splitFrame(formatPoint(7, 0xABCDEF0011223344ull, "cfg blob"),
+               header, body);
+    std::size_t index = 0;
+    std::uint64_t digest = 0;
+    EXPECT_TRUE(parsePointHeader(header, index, digest));
+    EXPECT_EQ(index, 7u);
+    EXPECT_EQ(digest, 0xABCDEF0011223344ull);
+    EXPECT_EQ(body, "cfg blob");
+
+    splitFrame(formatResult(9, true, "fields"), header, body);
+    bool simulated = false;
+    EXPECT_TRUE(parseResultHeader(header, index, simulated));
+    EXPECT_EQ(index, 9u);
+    EXPECT_TRUE(simulated);
+    EXPECT_EQ(body, "fields");
+
+    EXPECT_FALSE(parseHello("hello v999 jobs 1", jobs));
+    EXPECT_FALSE(parseWant("want", want));
+}
+
+// ---------------------------------------------------------------------
+// Shared result store
+// ---------------------------------------------------------------------
+
+CachedResult
+storedResult(double gbps)
+{
+    CachedResult value;
+    value.result.patternName = "16 vaults";
+    value.result.requestSize = 64;
+    value.result.rawGBps = gbps;
+    value.result.readLatencyP99Ns = 123.4567890123;
+    value.statDigest = 0xFEEDFACE12345678ull;
+    return value;
+}
+
+TEST(SharedStore, SaveLoadRoundTripsShardedAndAtomic)
+{
+    const std::filesystem::path dir = freshDir("hmcsim_test_store_rt");
+    SharedResultStore store({dir.string(), 300});
+    const std::uint64_t key = 0xAB00000000000042ull;
+
+    EXPECT_FALSE(store.load(key).has_value());
+    store.save(key, storedResult(31.5));
+
+    const auto hit = store.load(key);
+    ASSERT_TRUE(hit.has_value());
+    const CachedResult expect = storedResult(31.5);
+    EXPECT_EQ(std::memcmp(&hit->result.rawGBps,
+                          &expect.result.rawGBps, sizeof(double)),
+              0);
+    EXPECT_EQ(hit->statDigest, 0xFEEDFACE12345678ull);
+
+    // Sharded under the first two digest hex digits.
+    EXPECT_NE(store.objectPath(key).find("/objects/ab/"),
+              std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(store.objectPath(key)));
+
+    // Atomic publish: no temp files survive a completed save.
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(dir))
+        EXPECT_EQ(entry.path().string().find(".tmp."),
+                  std::string::npos)
+            << entry.path();
+
+    const auto counters = store.counters();
+    EXPECT_EQ(counters.saved, 1u);
+    EXPECT_EQ(counters.hits, 1u);
+    EXPECT_EQ(counters.misses, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SharedStore, LegacyAndCorruptEntriesAreCleanMisses)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_legacy");
+    SharedResultStore store({dir.string(), 300});
+
+    const auto plant = [&store](std::uint64_t key,
+                                const std::string &text) {
+        const std::filesystem::path path = store.objectPath(key);
+        std::filesystem::create_directories(path.parent_path());
+        std::ofstream(path) << text;
+    };
+
+    // Every pre-v4 cache generation: digests from older config
+    // serializations must never poison a hit.
+    plant(1, "hmcsim-result v1\npattern x\n");
+    plant(2, "hmcsim-result v2\npattern x\n");
+    plant(3, "hmcsim-result v3\npattern x\n");
+    // Truncated v4 (crash mid-write without the atomic rename) and
+    // outright garbage: skipped, counted, re-simulated.
+    plant(4, "hmcsim-result v4\npattern x\n");
+    plant(5, "not a result at all\n");
+
+    for (std::uint64_t key = 1; key <= 5; ++key)
+        EXPECT_FALSE(store.load(key).has_value()) << key;
+
+    const auto counters = store.counters();
+    EXPECT_EQ(counters.legacy, 3u);
+    EXPECT_EQ(counters.corrupt, 2u);
+    EXPECT_EQ(counters.hits, 0u);
+
+    // A rewritten entry is served normally afterwards.
+    store.save(3, storedResult(9.0));
+    EXPECT_TRUE(store.load(3).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SharedStore, ClaimsConflictAcrossInstancesAndRelease)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_claims");
+    SharedResultStore a({dir.string(), 300});
+    SharedResultStore b({dir.string(), 300});
+
+    EXPECT_EQ(a.tryClaim(7), SharedResultStore::ClaimOutcome::Acquired);
+    // flock conflicts across open file descriptions, so a second
+    // store -- same or different process -- sees Busy.
+    EXPECT_EQ(b.tryClaim(7), SharedResultStore::ClaimOutcome::Busy);
+
+    a.releaseClaim(7);
+    EXPECT_FALSE(std::filesystem::exists(a.claimPath(7)));
+    EXPECT_EQ(b.tryClaim(7), SharedResultStore::ClaimOutcome::Acquired);
+    b.releaseClaim(7);
+
+    // save() releases the claim as part of publishing.
+    EXPECT_EQ(a.tryClaim(8), SharedResultStore::ClaimOutcome::Acquired);
+    a.save(8, storedResult(1.0));
+    EXPECT_EQ(b.tryClaim(8), SharedResultStore::ClaimOutcome::Acquired);
+    b.releaseClaim(8);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SharedStore, StealsClaimOfCrashedProcess)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_crash");
+    {
+        // Scope the parent's store so the fork sees no claims.
+        SharedResultStore init({dir.string(), 300});
+    }
+
+    int claimedPipe[2];
+    int diePipe[2];
+    ASSERT_EQ(::pipe(claimedPipe), 0);
+    ASSERT_EQ(::pipe(diePipe), 0);
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: claim, tell the parent, wait for permission to
+        // "crash" -- _exit() skips destructors, so the claim file
+        // stays behind with its record while the kernel releases the
+        // flock.
+        SharedResultStore mine({dir.string(), 300});
+        char byte = 'c';
+        if (mine.tryClaim(21) !=
+            SharedResultStore::ClaimOutcome::Acquired)
+            byte = 'f';
+        (void)!::write(claimedPipe[1], &byte, 1);
+        (void)!::read(diePipe[0], &byte, 1);
+        ::_exit(0);
+    }
+
+    char byte = 0;
+    ASSERT_EQ(::read(claimedPipe[0], &byte, 1), 1);
+    ASSERT_EQ(byte, 'c');
+
+    SharedResultStore store({dir.string(), 300});
+    // The child is alive and holds the flock: Busy.
+    EXPECT_EQ(store.tryClaim(21),
+              SharedResultStore::ClaimOutcome::Busy);
+
+    ASSERT_EQ(::write(diePipe[1], &byte, 1), 1);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+    // Dead owner: the kernel released the flock; taking the lock over
+    // the stale record counts as a steal.
+    EXPECT_EQ(store.tryClaim(21),
+              SharedResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(store.counters().claimsStolen, 1u);
+    store.releaseClaim(21);
+
+    ::close(claimedPipe[0]);
+    ::close(claimedPipe[1]);
+    ::close(diePipe[0]);
+    ::close(diePipe[1]);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SharedStore, EvictsExpiredClaimOfWedgedOwner)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_expiry");
+    // The wedged owner: lease already expired at claim time, flock
+    // still held (the instance stays alive).
+    SharedResultStore wedged({dir.string(), -1});
+    ASSERT_EQ(wedged.tryClaim(33),
+              SharedResultStore::ClaimOutcome::Acquired);
+
+    SharedResultStore store({dir.string(), 300});
+    EXPECT_EQ(store.tryClaim(33),
+              SharedResultStore::ClaimOutcome::Acquired);
+    EXPECT_EQ(store.counters().claimsStolen, 1u);
+    store.releaseClaim(33);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ClaimedStorage, WaitsOutLiveClaimantAndReturnsTheirResult)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_wait");
+    SharedResultStore owner({dir.string(), 300});
+    SharedResultStore other({dir.string(), 300});
+    ASSERT_EQ(owner.tryClaim(55),
+              SharedResultStore::ClaimOutcome::Acquired);
+
+    std::optional<CachedResult> got;
+    std::thread waiter([&other, &got] {
+        ClaimedResultStorage storage(other, 1);
+        got = storage.load(55);
+    });
+
+    // The waiter polls Busy until the owner publishes; then it must
+    // return the owner's result instead of asking us to simulate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    owner.save(55, storedResult(77.0));
+    waiter.join();
+
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->statDigest, storedResult(77.0).statDigest);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ClaimedStorage, NulloptMeansCallerOwnsThePoint)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_own");
+    SharedResultStore store({dir.string(), 300});
+    SharedResultStore probe({dir.string(), 300});
+    ClaimedResultStorage storage(store, 1);
+
+    // Cold point: load() returns nullopt AND holds the claim.
+    EXPECT_FALSE(storage.load(66).has_value());
+    EXPECT_EQ(probe.tryClaim(66),
+              SharedResultStore::ClaimOutcome::Busy);
+
+    // save() publishes and releases.
+    storage.save(66, storedResult(5.0));
+    EXPECT_TRUE(probe.load(66).has_value());
+    EXPECT_EQ(probe.tryClaim(66),
+              SharedResultStore::ClaimOutcome::Acquired);
+    probe.releaseClaim(66);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Cache-dir crash safety (ResultCache satellite)
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheDir, SkipsCorruptAndLegacyEntriesCleanly)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_cache_corrupt");
+    std::filesystem::create_directories(dir);
+
+    char name[32];
+    const auto plant = [&dir, &name](std::uint64_t key,
+                                     const std::string &text) {
+        std::snprintf(name, sizeof(name), "%016llx.result",
+                      static_cast<unsigned long long>(key));
+        std::ofstream(dir / name) << text;
+    };
+    plant(2, "hmcsim-result v2\npattern x\n");       // legacy
+    plant(3, "hmcsim-result v3\npattern only\n");    // truncated
+    plant(4, "garbage that is not an entry\n");      // corrupt
+
+    ResultCache cache(dir.string());
+    cache.store(1, storedResult(4.0));
+    EXPECT_TRUE(cache.lookup(1).has_value());
+
+    // Bad entries are misses -- the sweep re-simulates -- never
+    // aborts, never hits.
+    EXPECT_FALSE(cache.lookup(2).has_value());
+    EXPECT_FALSE(cache.lookup(3).has_value());
+    EXPECT_FALSE(cache.lookup(4).has_value());
+    EXPECT_GE(cache.corruptEntries(), 2u);
+
+    // No temp droppings from the atomic-rename write path.
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(entry.path().string().find(".tmp."),
+                  std::string::npos)
+            << entry.path();
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Cross-process division and the distributed determinism contract
+// ---------------------------------------------------------------------
+
+/** 12 points, short windows -- the same grid test_runner uses. */
+SweepAxes
+distAxes()
+{
+    static const AddressMapper mapper(HmcConfig::gen2_4GB(),
+                                      MaxBlockSize::B128);
+    SweepAxes axes;
+    axes.patterns = {vaultPattern(mapper, 16), vaultPattern(mapper, 4),
+                     vaultPattern(mapper, 1), bankPattern(mapper, 2)};
+    axes.mixes = {RequestMix::ReadOnly};
+    axes.sizes = {128, 64, 32};
+    axes.base.warmup = 10 * tickUs;
+    axes.base.measure = 50 * tickUs;
+    return axes;
+}
+
+std::string
+localJsonl(unsigned jobs)
+{
+    std::ostringstream out;
+    JsonLinesSink sink(out);
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.sinks = {&sink};
+    SweepRunner(opts).run(distAxes());
+    return out.str();
+}
+
+TEST(TwoProcessStore, DividesAGridWithoutLossOrDuplication)
+{
+    const std::filesystem::path dir =
+        freshDir("hmcsim_test_store_fork");
+    {
+        SharedResultStore init({dir.string(), 300});
+    }
+
+    const auto sweepOverStore = [&dir](unsigned jobs) {
+        SharedResultStore store({dir.string(), 300});
+        ClaimedResultStorage storage(store, 1);
+        ResultCache cache(storage);
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.cache = &cache;
+        return SweepRunner(opts).run(distAxes());
+    };
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child process: race the parent over the same 12 points.
+        // Claims make the two processes partition the grid; each
+        // point is simulated by exactly one of them.
+        sweepOverStore(1);
+        ::_exit(0);
+    }
+    const std::vector<SweepPointResult> mine = sweepOverStore(1);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // Both processes hold complete, identical result sets...
+    ASSERT_EQ(mine.size(), 12u);
+    const std::vector<SweepPointResult> reference =
+        SweepRunner(SweepOptions{}).run(distAxes());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+        EXPECT_EQ(mine[i].digest, reference[i].digest);
+        EXPECT_EQ(mine[i].statDigest, reference[i].statDigest);
+    }
+
+    // ...and the store holds exactly one object per point: nothing
+    // lost, nothing duplicated, no claims or temp files left behind.
+    std::size_t objects = 0;
+    for (const auto &entry : std::filesystem::recursive_directory_iterator(
+             dir / "objects"))
+        objects += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(objects, 12u);
+    std::size_t claims = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir / "claims"))
+        claims += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(claims, 0u);
+
+    // A third, cold process is served entirely from the store.
+    SharedResultStore store({dir.string(), 300});
+    ClaimedResultStorage storage(store, 1);
+    ResultCache cache(storage);
+    SweepOptions warm;
+    warm.jobs = 2;
+    warm.cache = &cache;
+    for (const SweepPointResult &point :
+         SweepRunner(warm).run(distAxes()))
+        EXPECT_TRUE(point.fromCache);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Distributed, CoordinatorAndWorkersMatchLocalByteForByte)
+{
+    const std::filesystem::path sock =
+        std::filesystem::temp_directory_path() / "hmcsim_dist_e2e.sock";
+    std::filesystem::remove(sock);
+
+    std::ostringstream out;
+    JsonLinesSink sink(out);
+    DistSweepOptions opts;
+    opts.listenSpec = "unix:" + sock.string();
+    opts.sweep.sinks = {&sink};
+
+    DistSweepStats stats;
+    std::thread coordinator([&opts, &stats] {
+        runDistributedSweep(distAxes(), opts, &stats);
+    });
+
+    // Workers retry until the coordinator is listening.
+    const auto workUntilDrained = [&sock] {
+        WorkerOptions w;
+        w.connectSpec = "unix:" + sock.string();
+        w.jobs = 2;
+        for (int tries = 0; tries < 300; ++tries) {
+            if (runWorker(w) == 0)
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    };
+    std::thread workerA(workUntilDrained);
+    std::thread workerB(workUntilDrained);
+
+    coordinator.join();
+    workerA.join();
+    workerB.join();
+
+    EXPECT_EQ(out.str(), localJsonl(1));
+    EXPECT_EQ(stats.points, 12u);
+    EXPECT_EQ(stats.simulated, 12u);
+    EXPECT_GE(stats.workersSeen, 1u);
+}
+
+TEST(Distributed, ReclaimsLeasesOfAClientThatDiesSilently)
+{
+    const std::filesystem::path sock =
+        std::filesystem::temp_directory_path() /
+        "hmcsim_dist_flaky.sock";
+    std::filesystem::remove(sock);
+
+    std::ostringstream out;
+    JsonLinesSink sink(out);
+    DistSweepOptions opts;
+    opts.listenSpec = "unix:" + sock.string();
+    opts.sweep.sinks = {&sink};
+
+    DistSweepStats stats;
+    std::thread coordinator([&opts, &stats] {
+        runDistributedSweep(distAxes(), opts, &stats);
+    });
+
+    // A flaky client: lease three points, read them, vanish without
+    // resulting a single one.
+    NetAddress addr;
+    std::string error;
+    ASSERT_TRUE(
+        parseNetAddress("unix:" + sock.string(), addr, error));
+    int fd = -1;
+    for (int tries = 0; tries < 300 && fd < 0; ++tries) {
+        fd = netConnect(addr, error);
+        if (fd < 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(writeFrame(fd, formatHello(1)));
+    std::string payload;
+    ASSERT_TRUE(readFrame(fd, payload));
+    ASSERT_TRUE(writeFrame(fd, formatWant(3)));
+    ASSERT_TRUE(readFrame(fd, payload));
+    std::string header, body;
+    splitFrame(payload, header, body);
+    std::size_t granted = 0;
+    ASSERT_TRUE(parseGranted(header, granted));
+    ASSERT_EQ(granted, 3u);
+    for (std::size_t i = 0; i < granted; ++i)
+        ASSERT_TRUE(readFrame(fd, payload));
+    ::close(fd); // Silent death, three leases outstanding.
+
+    // An honest worker finishes the whole grid, reclaimed points
+    // included.
+    WorkerOptions w;
+    w.connectSpec = "unix:" + sock.string();
+    w.jobs = 2;
+    std::thread worker([&w] {
+        for (int tries = 0; tries < 300; ++tries) {
+            if (runWorker(w) == 0)
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    });
+
+    coordinator.join();
+    worker.join();
+
+    // Reclaim changed scheduling only -- never bytes.
+    EXPECT_EQ(out.str(), localJsonl(1));
+    EXPECT_EQ(stats.reclaimed, 3u);
+    EXPECT_EQ(stats.simulated, 12u);
+}
+
+} // namespace
